@@ -1,0 +1,33 @@
+"""Ablation A2: landmark count l in the horizontal kernel scheme.
+
+Lemma 4.4 discussion: the consensus is approximated in an l-dimensional
+landmark space ("because we cannot afford p vectors, we only use l
+vectors to approximate w~"); more landmarks buy a better approximation
+at l+1 secure-summed floats per learner per iteration.  The benchmark
+sweeps l and checks the trade-off is visible and non-degenerate.
+"""
+
+from repro.experiments.ablation import landmark_sweep
+from repro.experiments.tables import format_table
+
+
+def _run(config):
+    headers, rows = landmark_sweep((5, 10, 20, 40, 80), config)
+    print()
+    print("landmark sweep (kernel horizontal, cancer):")
+    print(format_table(headers, rows))
+
+    accs = [row[1] for row in rows]
+    traffic = [row[3] for row in rows]
+    # Communication grows linearly with l by construction.
+    assert traffic == [6, 11, 21, 41, 81]
+    # The largest landmark budget should do at least as well as the
+    # smallest (approximation quality is monotone in expectation).
+    assert accs[-1] >= accs[0] - 0.03
+    # And the whole sweep stays usable.
+    assert min(accs) > 0.75
+    return rows
+
+
+def test_ablation_a2_landmarks(benchmark, bench_config):
+    benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Table S2: cryptographic overhead of the aggregation strategies (§I/§V).
+
+The paper's core systems claim: privacy costs only "a limited number of
+cryptographic operations at the Reduce() procedures", as opposed to
+SMC designs that encrypt per-record work.  The benchmark measures, on a
+fixed workload:
+
+* plaintext aggregation (no privacy) — the cost floor;
+* the paper's fresh-mask protocol;
+* the PRG-mask optimization;
+* an encrypt-everything Paillier baseline.
+
+Shape assertions: masking adds modest byte overhead over plaintext; the
+Paillier baseline's per-iteration wall time dominates the masking
+protocol's by a large factor.
+"""
+
+from repro.experiments.tables import crypto_overhead_table, format_table
+
+
+def _run(config):
+    headers, rows = crypto_overhead_table(config, max_iter=10)
+    print()
+    print(format_table(headers, rows))
+    by_label = {row[0]: row for row in rows}
+    plain = by_label["plaintext"]
+    fresh = by_label["masking-fresh (paper)"]
+    prg = by_label["masking-prg"]
+    paillier = next(row for label, row in by_label.items() if label.startswith("paillier"))
+
+    # Masking moves more bytes than plaintext (the masks), but PRG mode
+    # removes the per-round mask traffic.
+    assert fresh[1] > plain[1]
+    assert prg[1] < fresh[1]
+    # The SMC baseline's compute dominates the masking protocol's.
+    assert paillier[4] > fresh[4] * 3
+    return rows
+
+
+def test_table_s2_crypto_overhead(benchmark, bench_config):
+    benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""Future-work benchmark: distributed feature selection (§VI discussion).
+
+The paper attributes the "sudden jumps" in the vertical consensus curve
+to redundant features assigned to a learner, and names distributed
+feature selection as the (future-work) remedy.  This benchmark plants
+known-redundant noise features, runs the selection protocols, and
+measures (a) that the distributed selection matches the centralized one
+exactly, and (b) what selection does to the downstream training curve
+and accuracy, horizontally and vertically.
+"""
+
+import numpy as np
+
+from repro.core.feature_selection import (
+    correlation_scores,
+    secure_feature_selection,
+    vertical_feature_selection,
+)
+from repro.core.partitioning import horizontal_partition, vertical_partition
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.vertical_linear import VerticalLinearSVM
+from repro.data.dataset import Dataset
+from repro.data.splits import train_test_split
+from repro.data.synthetic import make_blobs
+from repro.experiments.tables import format_table
+from repro.utils.rng import as_rng
+
+
+def _redundant_dataset(n, n_signal=6, n_noise=10, seed=0):
+    rng = as_rng(seed)
+    core = make_blobs(n, n_signal, delta=3.0, seed=seed)
+    noise = rng.standard_normal((n, n_noise))
+    return Dataset(np.hstack([core.X, noise]), core.y, "redundant")
+
+
+def _run(config):
+    ds = _redundant_dataset(600, seed=config.seed)
+    train, test = train_test_split(ds, 0.5, seed=0)
+    n_signal = 6
+
+    headers = ["setting", "accuracy", "final_z_change", "n_features"]
+    rows = []
+
+    # Horizontal: with and without secure selection.
+    h_parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+    full_h = HorizontalLinearSVM(C=config.C, rho=config.rho, max_iter=40).fit(h_parts)
+    rows.append(
+        ["horizontal, all features", full_h.score(test.X, test.y),
+         float(full_h.history_.z_changes[-1]), train.n_features]
+    )
+    selection = secure_feature_selection(h_parts, n_signal, seed=config.seed)
+    # Correlation screening finds nearly all planted signal features (a
+    # signal feature with a tiny weight in the random discriminant
+    # direction can legitimately lose to a lucky noise column).
+    hits = len(set(selection.selected.tolist()) & set(range(n_signal)))
+    assert hits >= n_signal - 1, (
+        f"secure selection found only {hits}/{n_signal} signal features"
+    )
+    np.testing.assert_allclose(
+        selection.scores, correlation_scores(train.X, train.y), atol=1e-8
+    )
+    trimmed_h = HorizontalLinearSVM(C=config.C, rho=config.rho, max_iter=40).fit(
+        selection.project(h_parts)
+    )
+    rows.append(
+        ["horizontal, secure top-k", trimmed_h.score(test.X[:, selection.selected], test.y),
+         float(trimmed_h.history_.z_changes[-1]), n_signal]
+    )
+
+    # Vertical: with and without selection.
+    v_part = vertical_partition(train, config.n_learners, seed=config.seed)
+    full_v = VerticalLinearSVM(C=config.C, rho=config.rho, max_iter=60).fit(v_part)
+    rows.append(
+        ["vertical, all features", full_v.score(test.X, test.y),
+         float(full_v.history_.z_changes[-1]), train.n_features]
+    )
+    v_sel = vertical_feature_selection(v_part, n_signal)
+    trimmed_v = VerticalLinearSVM(C=config.C, rho=config.rho, max_iter=60).fit(
+        v_part.restrict(v_sel.selected)
+    )
+    rows.append(
+        ["vertical, score top-k", trimmed_v.score(test.X[:, v_sel.selected], test.y),
+         float(trimmed_v.history_.z_changes[-1]), n_signal]
+    )
+
+    print()
+    print(format_table(headers, rows))
+
+    # Selection must not hurt accuracy while shrinking the problem.
+    assert rows[1][1] >= rows[0][1] - 0.03
+    assert rows[3][1] >= rows[2][1] - 0.03
+    return rows
+
+
+def test_feature_selection_experiment(benchmark, bench_config):
+    benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)

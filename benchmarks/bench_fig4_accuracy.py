@@ -1,0 +1,61 @@
+"""Fig. 4(e)-(h): correct classification ratio per ADMM iteration.
+
+Each benchmark regenerates one accuracy panel and asserts the paper's
+qualitative story: accuracy improves as consensus forms, and the final
+correct ratios land in each dataset's regime (cancer easy ~95%, HIGGS
+hard ~70%, OCR very easy ~98% — up to the tolerance a synthetic
+substitute and reduced subset sizes warrant).
+"""
+
+import numpy as np
+
+from repro.experiments.figure4 import format_panel, run_panel
+
+#: Final-accuracy floors per dataset.  The kernel-vertical additive
+#: model and the hard HIGGS regime get looser floors; exact measured
+#: values are recorded in EXPERIMENTS.md.
+FLOORS = {
+    "e": {"cancer": 0.88, "higgs": 0.58, "ocr": 0.93},
+    "f": {"cancer": 0.85, "higgs": 0.55, "ocr": 0.90},
+    "g": {"cancer": 0.88, "higgs": 0.58, "ocr": 0.93},
+    "h": {"cancer": 0.85, "higgs": 0.55, "ocr": 0.90},
+}
+
+
+def _run_and_check(panel, config):
+    result = run_panel(panel, config)
+    print()
+    print(format_panel(result, every=10))
+    for name, series in result.series.items():
+        assert np.all((series >= 0.0) & (series <= 1.0))
+        floor = FLOORS[panel][name]
+        assert series[-1] >= floor, (
+            f"panel {panel}, dataset {name}: final accuracy {series[-1]:.3f} < {floor}"
+        )
+        # Learning curve: the tail does not collapse relative to the
+        # first iteration.  (For the linear horizontal scheme a single
+        # local solve is already strong, so the curve may be flat or
+        # wobble slightly around its plateau — the paper's higgs curves
+        # wobble too.)
+        assert series[-1] >= series[0] - 0.05
+    return result
+
+
+def test_fig4e(benchmark, bench_config):
+    """Correct ratio, linear horizontal (paper Fig. 4(e))."""
+    benchmark.pedantic(_run_and_check, args=("e", bench_config), rounds=1, iterations=1)
+
+
+def test_fig4f(benchmark, bench_config):
+    """Correct ratio, kernel horizontal (paper Fig. 4(f))."""
+    benchmark.pedantic(_run_and_check, args=("f", bench_config), rounds=1, iterations=1)
+
+
+def test_fig4g(benchmark, bench_config):
+    """Correct ratio, linear vertical (paper Fig. 4(g))."""
+    benchmark.pedantic(_run_and_check, args=("g", bench_config), rounds=1, iterations=1)
+
+
+def test_fig4h(benchmark, bench_config):
+    """Correct ratio, kernel vertical (paper Fig. 4(h))."""
+    benchmark.pedantic(_run_and_check, args=("h", bench_config), rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Table S3: scalability in the number of learners M (§I claims).
+
+The paper motivates the design by big-data scalability: per-iteration
+work is local to each learner and the Reducer handles only M small
+vectors, so adding learners should not blow up the consensus cost.
+Measured columns: accuracy, bytes/iteration, mask messages/iteration
+(the O(M^2) term), wall time, and the data-locality invariant (raw
+bytes moved must stay 0 at every scale).
+"""
+
+from repro.experiments.tables import format_table, scalability_table
+
+
+def _run(config):
+    headers, rows = scalability_table(config, learner_counts=(2, 4, 8, 16), max_iter=15)
+    print()
+    print(format_table(headers, rows))
+    for row in rows:
+        assert row[1] > 0.85, f"M={row[0]}: accuracy degraded to {row[1]:.3f}"
+        assert row[5] == 0.0, f"M={row[0]}: raw data moved!"
+    # Mask messages grow with M (pairwise masking is O(M^2)).
+    mask_msgs = [row[3] for row in rows]
+    assert mask_msgs == sorted(mask_msgs)
+    assert mask_msgs[-1] > mask_msgs[0]
+    return rows
+
+
+def test_table_s3_scalability(benchmark, bench_config):
+    benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Profiles
+--------
+The benchmarks default to the **quick** profile (reduced HIGGS/OCR
+subsets, 60 ADMM iterations) so a full ``pytest benchmarks/
+--benchmark-only`` pass finishes in minutes on a laptop.  Set
+
+    REPRO_BENCH_PROFILE=paper
+
+to run the paper-scale sizes (569 / 11,000 / 5,620 samples, 100
+iterations).  The difficulty regimes — and hence the curve shapes the
+reproduction is judged on — are the same in both profiles; measured
+numbers for both are recorded in EXPERIMENTS.md.
+
+Every benchmark prints the regenerated series/table (use ``-s`` to see
+them live; they are also written by the top-level ``tee`` run).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PAPER_SIZES, QUICK_SIZES
+
+
+def _profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration for this benchmark session."""
+    if _profile() == "paper":
+        return ExperimentConfig(max_iter=100, sizes=dict(PAPER_SIZES))
+    return ExperimentConfig(max_iter=60, sizes=dict(QUICK_SIZES))
+
+
+@pytest.fixture(scope="session")
+def profile_name() -> str:
+    return _profile()

@@ -1,0 +1,75 @@
+"""Vertically partitioned scenario: banks doing joint credit-risk analysis.
+
+The paper's other motivating example: "several banks wishing to conduct
+credit risk analysis to identify non-profitable customers based on past
+transaction records."  All banks know the *same customers* (rows), but
+each holds different attributes about them (columns) — vertically
+partitioned data.  Only the default labels are shared.
+
+This example trains the vertical consensus SVM (linear and kernel) on a
+64-attribute, strongly-correlated customer dataset (the regime the
+paper stresses with OCR: correlated columns force the learners to
+cooperate closely), and shows the per-iteration cooperation dynamics.
+
+Run:  python examples/bank_credit_risk.py
+"""
+
+import numpy as np
+
+from repro import PrivacyPreservingSVM, vertical_partition
+from repro.data import StandardScaler, make_ocr_like, train_test_split
+from repro.svm import SVC, LinearSVC, RBFKernel
+
+N_BANKS = 4
+
+
+def main() -> None:
+    # Customer records: 64 correlated attributes (transaction patterns),
+    # labels = profitable / non-profitable.
+    dataset = make_ocr_like(1200, seed=3)
+    train, test = train_test_split(dataset, 0.5, seed=0)
+    scaler = StandardScaler().fit(train.X)
+    train = scaler.transform_dataset(train)
+    test = scaler.transform_dataset(test)
+
+    partition = vertical_partition(train, N_BANKS, seed=0)
+    print(f"{N_BANKS} banks; attributes per bank: "
+          f"{[f.size for f in partition.features]}  "
+          f"(customers per bank: {partition.n_samples})")
+
+    # Privacy-preserving vertical training, linear.
+    linear = PrivacyPreservingSVM("vertical", C=50.0, rho=100.0, max_iter=100, seed=0)
+    linear.fit(partition)
+    print(f"\nconsensus (linear) accuracy: {linear.score(test.X, test.y):.3f}")
+
+    # Kernel variant: each bank contributes an RBF machine on its own
+    # attribute block (an additive-kernel joint model).
+    kernel = PrivacyPreservingSVM(
+        "vertical", kernel=RBFKernel(gamma=0.002), C=50.0, rho=100.0, max_iter=100, seed=0
+    )
+    kernel.fit(partition)
+    print(f"consensus (RBF)    accuracy: {kernel.score(test.X, test.y):.3f}")
+
+    # Reference ceilings.
+    pooled_linear = LinearSVC(C=50.0).fit(train.X, train.y)
+    pooled_rbf = SVC(RBFKernel(gamma=0.002), C=50.0).fit(train.X, train.y)
+    print(f"centralized linear accuracy: {pooled_linear.score(test.X, test.y):.3f}")
+    print(f"centralized RBF    accuracy: {pooled_rbf.score(test.X, test.y):.3f}")
+
+    # Cooperation dynamics: the paper highlights that correlated columns
+    # make the vertical learners negotiate longer (Fig. 4(c)/(g)).
+    z = linear.history_.z_changes
+    checkpoints = [0, 1, 5, 10, 25, 50, 99]
+    print("\nconsensus movement ||z(t+1)-z(t)||^2 over iterations:")
+    for t in checkpoints:
+        if t < len(z):
+            print(f"  iter {t:>3d}: {z[t]:.3e}")
+
+    # Prediction requires all banks: each contributes its score share.
+    scores = linear.decision_function(test.X[:5])
+    print(f"\njoint scores for 5 customers: {np.round(scores, 2)}")
+    print(f"raw data bytes moved: {linear.raw_data_bytes_moved():.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Horizontally partitioned scenario: a consortium of hospitals.
+
+The paper's motivating example: "several medical institutions trying to
+discover certain correlations between symptoms and diagnoses from
+patients' records."  Each hospital holds its *own patients* (rows) with
+the same features (columns) — horizontally partitioned data — and none
+may share records.
+
+This example walks the full story:
+
+1. each hospital alone (no collaboration) — the utility floor;
+2. the privacy-preserving consensus SVM (linear, then RBF-kernel);
+3. the insecure centralized pool — the utility ceiling;
+4. what the semi-honest Reducer actually observed.
+
+Run:  python examples/hospital_consortium.py
+"""
+
+
+from repro import PrivacyPreservingSVM, horizontal_partition
+from repro.baselines import LocalOnlySVM
+from repro.data import StandardScaler, make_cancer_like, train_test_split
+from repro.security import reducer_view
+from repro.svm import SVC, RBFKernel
+
+N_HOSPITALS = 4
+
+
+def main() -> None:
+    # Diagnostic records: 9 features per patient, ~95%-separable task.
+    dataset = make_cancer_like(569, seed=7)
+    train, test = train_test_split(dataset, 0.5, seed=0)
+    scaler = StandardScaler().fit(train.X)
+    train = scaler.transform_dataset(train)
+    test = scaler.transform_dataset(test)
+
+    hospitals = horizontal_partition(train, N_HOSPITALS, seed=0)
+    print(f"{N_HOSPITALS} hospitals, records per hospital: "
+          f"{[h.n_samples for h in hospitals]}")
+
+    # 1. No collaboration: each hospital trains on its own records.
+    local = LocalOnlySVM(C=50.0).fit(hospitals)
+    local_scores = local.score_all(test.X, test.y)
+    print(f"\nlocal-only accuracy per hospital: "
+          f"{[round(local_scores[f'learner{i}'], 3) for i in range(N_HOSPITALS)]}")
+    print(f"local-only mean accuracy:         {local_scores['mean']:.3f}")
+
+    # 2a. Privacy-preserving consensus, linear.
+    linear = PrivacyPreservingSVM("horizontal", C=50.0, rho=100.0, max_iter=60, seed=0)
+    linear.fit(hospitals)
+    print(f"\nconsensus (linear)  accuracy:     {linear.score(test.X, test.y):.3f}")
+
+    # 2b. Privacy-preserving consensus, RBF kernel with 50 public landmarks.
+    kernel = PrivacyPreservingSVM(
+        "horizontal",
+        kernel=RBFKernel(gamma=0.02),
+        n_landmarks=50,
+        C=50.0,
+        rho=100.0,
+        max_iter=60,
+        seed=0,
+    )
+    kernel.fit(hospitals)
+    print(f"consensus (RBF)     accuracy:     {kernel.score(test.X, test.y):.3f}")
+
+    # 3. The (disallowed) centralized pool, for reference.
+    pooled = SVC(C=50.0).fit(train.X, train.y)
+    print(f"centralized pool    accuracy:     {pooled.score(test.X, test.y):.3f}")
+
+    # 4. What did the Reducer see?  Only masked group elements.
+    view = reducer_view(linear.network_)
+    share = view.payloads("masked-share")[0]
+    print(f"\nReducer received {len(view.messages)} messages, all of kind "
+          f"{{{', '.join(sorted({m.kind for m in view.messages}))}}}")
+    print(f"first masked share (leading residues): {[int(v) for v in share[:2]]}")
+    print(f"raw data bytes moved across the wire:  "
+          f"{linear.raw_data_bytes_moved():.0f}")
+
+    gain = linear.score(test.X, test.y) - local_scores["mean"]
+    print(f"\ncollaboration gain over local-only: {gain:+.3f} accuracy")
+    assert linear.raw_data_bytes_moved() == 0.0
+
+
+if __name__ == "__main__":
+    main()

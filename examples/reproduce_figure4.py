@@ -1,0 +1,42 @@
+"""Regenerate every panel of the paper's Fig. 4 and print the series.
+
+By default runs the quick profile (reduced HIGGS/OCR subset sizes; same
+difficulty regimes — see EXPERIMENTS.md).  Pass ``--paper`` for the full
+paper-scale sizes (569 / 11,000 / 5,620; slow) or ``--panels bd`` to
+restrict panels.
+
+Run:  python examples/reproduce_figure4.py [--paper] [--panels abcdefgh]
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_SIZES,
+    format_panel,
+    run_panel,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true", help="full paper-scale sizes")
+    parser.add_argument("--panels", default="abcdefgh", help="subset of panels to run")
+    parser.add_argument("--max-iter", type=int, default=100, help="ADMM iterations")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(max_iter=args.max_iter)
+    if args.paper:
+        config = config.with_sizes(PAPER_SIZES)
+
+    for panel in args.panels:
+        start = time.perf_counter()
+        result = run_panel(panel, config)
+        elapsed = time.perf_counter() - start
+        print(format_panel(result, every=10))
+        print(f"[panel {panel} regenerated in {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

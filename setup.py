@@ -1,0 +1,9 @@
+"""Legacy setup shim: this environment's setuptools lacks the ``wheel``
+package, so editable installs need the pre-PEP-517 code path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

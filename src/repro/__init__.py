@@ -1,0 +1,61 @@
+"""repro — reproduction of "Privacy-preserving Machine Learning Algorithms
+for Big Data Systems" (Xu, Yue, Guo, Guo & Fang, IEEE ICDCS 2015).
+
+Privacy-preserving distributed SVM training on a simulated
+Hadoop/Twister cluster: ADMM decomposes the joint SVM into per-learner
+Map() tasks over data that never leaves its node; a Reducer forms the
+consensus from *sums only*, delivered by a coalition-resistant secure
+summation protocol.
+
+Quickstart
+----------
+>>> from repro import PrivacyPreservingSVM, horizontal_partition
+>>> from repro.data import make_cancer_like, train_test_split
+>>> train, test = train_test_split(make_cancer_like(), seed=0)
+>>> parts = horizontal_partition(train, n_learners=4, seed=0)
+>>> model = PrivacyPreservingSVM(max_iter=50, seed=0).fit(parts)
+>>> round(model.score(test.X, test.y), 2) >= 0.9
+True
+>>> model.raw_data_bytes_moved()   # the data-locality privacy invariant
+0.0
+
+Package map
+-----------
+* :mod:`repro.core` — the paper's contribution: the four consensus-SVM
+  variants and the full MapReduce-integrated trainer;
+* :mod:`repro.cluster` — simulated HDFS / MapReduce / Twister substrate;
+* :mod:`repro.crypto` — secure summation, Paillier, secret sharing;
+* :mod:`repro.svm` — kernels, QP/SMO solvers, centralized baselines;
+* :mod:`repro.data` — synthetic stand-ins for the paper's datasets;
+* :mod:`repro.security` — semi-honest adversary views and attacks;
+* :mod:`repro.baselines` — related-work comparators;
+* :mod:`repro.experiments` — figure/table regeneration harness.
+"""
+
+from repro.core import (
+    HorizontalKernelSVM,
+    HorizontalLinearSVM,
+    PrivacyPreservingSVM,
+    VerticalKernelSVM,
+    VerticalLinearSVM,
+    VerticalPartition,
+    horizontal_partition,
+    vertical_partition,
+)
+from repro.svm import SVC, LinearSVC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HorizontalKernelSVM",
+    "HorizontalLinearSVM",
+    "LinearSVC",
+    "PrivacyPreservingSVM",
+    "SVC",
+    "VerticalKernelSVM",
+    "VerticalLinearSVM",
+    "VerticalPartition",
+    "__version__",
+    "horizontal_partition",
+    "vertical_partition",
+]

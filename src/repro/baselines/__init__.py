@@ -1,0 +1,20 @@
+"""Comparator schemes from the paper's related-work discussion (Section II).
+
+* :class:`LocalOnlySVM` — no collaboration at all: each learner trains
+  on its own share.  The gap to the consensus scheme is the value of
+  collaborating.
+* :class:`RandomKernelSVM` — the randomization-based approach of
+  Mangasarian et al. [21][22]: learners publish randomly projected data;
+  a server trains on the projections.  Cheap, but the projection matrix
+  is a shared secret and privacy is only computational/heuristic (RIP
+  argument) — the trade-offs the paper criticizes.
+* :class:`DPLogisticRegression` — Chaudhuri & Monteleoni's output-
+  perturbed, epsilon-differentially-private logistic regression [7]:
+  strong formal privacy, pay in accuracy as epsilon shrinks.
+"""
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.baselines.local_only import LocalOnlySVM
+from repro.baselines.random_kernel import RandomKernelSVM
+
+__all__ = ["DPLogisticRegression", "LocalOnlySVM", "RandomKernelSVM"]

@@ -1,0 +1,76 @@
+"""No-collaboration baseline: every learner trains alone.
+
+This is the privacy-optimal strawman (nothing is ever communicated) and
+the utility floor the consensus scheme must beat: with M learners each
+holding 1/M of the data, local models are noticeably worse than the
+consensus model whenever the per-learner sample size is limiting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.svm.kernels import Kernel
+from repro.svm.model import SVC, accuracy
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["LocalOnlySVM"]
+
+
+class LocalOnlySVM:
+    """Independent per-learner SVMs with no communication.
+
+    Parameters mirror :class:`~repro.svm.model.SVC`.  ``predict`` uses
+    the model of ``eval_learner`` (to compare against the paper's
+    "results at learner 1" convention); ``score_all`` reports every
+    learner's accuracy and their mean.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        C: float = 50.0,
+        *,
+        eval_learner: int = 0,
+        tol: float = 1e-3,
+        max_iter: int = 200_000,
+    ) -> None:
+        self.kernel = kernel
+        self.C = C
+        self.eval_learner = int(eval_learner)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.models_: list[SVC] = []
+
+    def fit(self, partitions: list[Dataset]) -> "LocalOnlySVM":
+        """Train one independent SVM per partition."""
+        if len(partitions) < 1:
+            raise ValueError("need at least one partition")
+        self.models_ = [
+            SVC(kernel=self.kernel, C=self.C, tol=self.tol, max_iter=self.max_iter).fit(p.X, p.y)
+            for p in partitions
+        ]
+        if not 0 <= self.eval_learner < len(self.models_):
+            raise ValueError(f"eval_learner {self.eval_learner} out of range")
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predictions of the ``eval_learner``'s local model."""
+        if not self.models_:
+            raise RuntimeError("model must be fit before use")
+        return self.models_[self.eval_learner].predict(check_matrix(X, "X"))
+
+    def score(self, X, y) -> float:
+        """Accuracy of the ``eval_learner``'s local model."""
+        return accuracy(check_labels(y, "y"), self.predict(X))
+
+    def score_all(self, X, y) -> dict[str, float]:
+        """Per-learner accuracies plus their mean."""
+        if not self.models_:
+            raise RuntimeError("model must be fit before use")
+        X = check_matrix(X, "X")
+        y = check_labels(y, "y", length=X.shape[0])
+        scores = {f"learner{i}": model.score(X, y) for i, model in enumerate(self.models_)}
+        scores["mean"] = float(np.mean(list(scores.values())))
+        return scores

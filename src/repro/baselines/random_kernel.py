@@ -1,0 +1,99 @@
+"""Random-kernel baseline (Mangasarian & Wild [21], Mangasarian et al. [22]).
+
+The randomization-based comparator from the paper's related work: the
+learners agree on a secret random projection ``P`` (the "random
+kernel"), publish their *projected* data ``X_m P`` to an untrusted
+server, and the server trains an ordinary SVM on the projections.
+Classification of a new point requires projecting it first — i.e. the
+learners must keep ``P`` secret forever, and the scheme only fits the
+client/server setting (exactly the drawbacks the paper lists).
+
+Privacy here is heuristic: with ``n_components < k`` the map is not
+invertible and restricted-isometry arguments say the geometry (hence the
+margin) is approximately preserved, which is why accuracy stays close
+to the full-data SVM while the server never sees raw features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.svm.model import SVC, accuracy
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["RandomKernelSVM"]
+
+
+class RandomKernelSVM:
+    """SVM trained on secretly random-projected, pooled data.
+
+    Parameters
+    ----------
+    n_components:
+        Projection dimension r (< k for non-invertibility).  Defaults to
+        ``max(1, k // 2)`` at fit time.
+    C:
+        SVM slack penalty.
+    seed:
+        RNG seed for the shared secret projection.
+    """
+
+    def __init__(
+        self,
+        n_components: int | None = None,
+        C: float = 50.0,
+        *,
+        seed: int | np.random.Generator | None = 0,
+        tol: float = 1e-3,
+        max_iter: int = 200_000,
+    ) -> None:
+        self.n_components = n_components
+        self.C = C
+        self.seed = seed
+        self.tol = tol
+        self.max_iter = max_iter
+        self.projection_: np.ndarray | None = None
+        self.model_: SVC | None = None
+
+    def fit(self, partitions: list[Dataset]) -> "RandomKernelSVM":
+        """Pool the learners' projected shares and train at the server."""
+        if len(partitions) < 1:
+            raise ValueError("need at least one partition")
+        k = partitions[0].n_features
+        if any(p.n_features != k for p in partitions):
+            raise ValueError("all partitions must share the feature dimension")
+        r = self.n_components if self.n_components is not None else max(1, k // 2)
+        if r > k:
+            raise ValueError(f"n_components ({r}) cannot exceed n_features ({k})")
+        rng = as_rng(self.seed)
+        # The shared secret: a Gaussian projection, scaled to preserve
+        # expected norms (Johnson-Lindenstrauss convention).
+        self.projection_ = rng.standard_normal((k, r)) / np.sqrt(r)
+
+        projected = np.vstack([p.X @ self.projection_ for p in partitions])
+        labels = np.concatenate([p.y for p in partitions])
+        self.model_ = SVC(C=self.C, tol=self.tol, max_iter=self.max_iter).fit(projected, labels)
+        return self
+
+    def published_view(self, partitions: list[Dataset]) -> np.ndarray:
+        """What the untrusted server actually receives (for leakage demos)."""
+        if self.projection_ is None:
+            raise RuntimeError("model must be fit before use")
+        return np.vstack([check_matrix(p.X, "X") @ self.projection_ for p in partitions])
+
+    def predict(self, X) -> np.ndarray:
+        """Project with the shared secret, then classify at the server."""
+        if self.model_ is None or self.projection_ is None:
+            raise RuntimeError("model must be fit before use")
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.projection_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, projection expects {self.projection_.shape[0]}"
+            )
+        return self.model_.predict(X @ self.projection_)
+
+    def score(self, X, y) -> float:
+        """Accuracy on ``(X, y)``."""
+        return accuracy(check_labels(y, "y"), self.predict(X))

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``
+    Train a privacy-preserving SVM on a built-in synthetic dataset or a
+    user-supplied CSV, print the accuracy and the communication/privacy
+    ledger, and optionally save the consensus model.
+``figure4``
+    Regenerate Fig. 4 panels and print the numeric series.
+``report``
+    Run the full evaluation and write a Markdown report.
+``protocol-demo``
+    One round of the secure summation protocol with a visible ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.partitioning import horizontal_partition, vertical_partition
+from repro.core.trainer import PrivacyPreservingSVM
+from repro.data.loaders import load_csv
+from repro.data.scaling import StandardScaler
+from repro.data.splits import train_test_split
+from repro.data.synthetic import make_cancer_like, make_higgs_like, make_ocr_like
+from repro.experiments.config import ExperimentConfig, PAPER_SIZES
+from repro.experiments.figure4 import format_panel, run_panel
+from repro.experiments.report import generate_report
+from repro.svm.kernels import kernel_by_name
+
+__all__ = ["main"]
+
+_MAKERS = {"cancer": make_cancer_like, "higgs": make_higgs_like, "ocr": make_ocr_like}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-preserving distributed SVM (ICDCS'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a privacy-preserving SVM")
+    source = train.add_mutually_exclusive_group()
+    source.add_argument("--dataset", choices=sorted(_MAKERS), default="cancer")
+    source.add_argument("--csv", help="path to a numeric CSV with labels")
+    train.add_argument("--label-column", type=int, default=-1)
+    train.add_argument("--samples", type=int, default=569)
+    train.add_argument("--mode", choices=["horizontal", "vertical"], default="horizontal")
+    train.add_argument("--kernel", default=None, help="e.g. rbf; omit for linear")
+    train.add_argument("--gamma", type=float, default=0.02, help="RBF bandwidth")
+    train.add_argument("--learners", type=int, default=4)
+    train.add_argument("--C", type=float, default=50.0)
+    train.add_argument("--rho", type=float, default=100.0)
+    train.add_argument("--iters", type=int, default=60)
+    train.add_argument("--insecure", action="store_true", help="plaintext aggregation")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", help="write the consensus model to this .npz path")
+
+    fig = sub.add_parser("figure4", help="regenerate Fig. 4 panels")
+    fig.add_argument("--panels", default="abcdefgh")
+    fig.add_argument("--paper", action="store_true", help="paper-scale sizes")
+    fig.add_argument("--max-iter", type=int, default=100)
+    fig.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="write the full Markdown evaluation report")
+    report.add_argument("--out", default="report.md")
+    report.add_argument("--panels", default="abcdefgh")
+    report.add_argument("--paper", action="store_true")
+    report.add_argument("--max-iter", type=int, default=60)
+    report.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("protocol-demo", help="one secure-summation round, annotated")
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    if args.csv:
+        dataset = load_csv(args.csv, label_column=args.label_column)
+    else:
+        dataset = _MAKERS[args.dataset](args.samples, seed=args.seed)
+    train_set, test_set = train_test_split(dataset, 0.5, seed=args.seed)
+    scaler = StandardScaler().fit(train_set.X)
+    train_set = scaler.transform_dataset(train_set)
+    test_set = scaler.transform_dataset(test_set)
+
+    kernel = kernel_by_name(args.kernel, gamma=args.gamma) if args.kernel == "rbf" else (
+        kernel_by_name(args.kernel) if args.kernel else None
+    )
+    model = PrivacyPreservingSVM(
+        args.mode,
+        kernel=kernel,
+        C=args.C,
+        rho=args.rho,
+        max_iter=args.iters,
+        secure=not args.insecure,
+        seed=args.seed,
+    )
+    if args.mode == "horizontal":
+        data = horizontal_partition(train_set, args.learners, seed=args.seed)
+    else:
+        data = vertical_partition(train_set, args.learners, seed=args.seed)
+    model.fit(data)
+
+    print(f"dataset            : {dataset.name} ({dataset.n_samples} x {dataset.n_features})")
+    print(f"mode               : {args.mode}, {args.learners} learners, "
+          f"{'secure' if not args.insecure else 'PLAINTEXT'}")
+    print(f"test accuracy      : {model.score(test_set.X, test_set.y):.4f}")
+    print(f"iterations         : {len(model.history_)}")
+    print(f"final z-change     : {model.history_.z_changes[-1]:.3e}")
+    summary = model.communication_summary()
+    print(f"bytes on the wire  : {summary['total_bytes']:.0f} "
+          f"({summary['bytes_per_iteration']:.0f}/iter)")
+    print(f"raw data moved     : {summary['raw_data_bytes_moved']:.0f} bytes")
+    print(f"secure sum rounds  : {summary['secure_sum_rounds']:.0f}")
+
+    if args.save:
+        if args.mode != "horizontal" or kernel is not None:
+            print("--save supports the horizontal linear consensus model only",
+                  file=sys.stderr)
+            return 2
+        from repro.core.horizontal_linear import HorizontalLinearSVM
+        from repro.persistence import save_model
+
+        exportable = HorizontalLinearSVM(C=args.C, rho=args.rho)
+        exportable.consensus_weights_ = model._reducer.z
+        exportable.consensus_bias_ = model._reducer.s
+        save_model(exportable, args.save)
+        print(f"consensus model written to {args.save}")
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(max_iter=args.max_iter, seed=args.seed)
+    if args.paper:
+        config = config.with_sizes(PAPER_SIZES)
+    for panel in args.panels:
+        result = run_panel(panel, config)
+        print(format_panel(result, every=10))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(max_iter=args.max_iter, seed=args.seed)
+    if args.paper:
+        config = config.with_sizes(PAPER_SIZES)
+    text = generate_report(config, panels=args.panels)
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_protocol_demo(_: argparse.Namespace) -> int:
+    from repro.cluster.network import Network
+    from repro.crypto.secure_sum import SecureSummationProtocol
+
+    rng = np.random.default_rng(0)
+    network = Network()
+    mappers = [f"mapper-{i}" for i in range(4)]
+    protocol = SecureSummationProtocol(network, mappers, "reducer", seed=0)
+    values = {m: rng.normal(size=4) for m in mappers}
+    total = protocol.sum_vectors(values)
+    print(f"inputs (private)  : {[np.round(v, 3).tolist() for v in values.values()]}")
+    print(f"reducer obtains   : {np.round(total, 3).tolist()}")
+    print(f"true sum          : {np.round(sum(values.values()), 3).tolist()}")
+    print(f"mask messages     : {network.messages_sent('mask'):.0f}")
+    print(f"masked shares     : {network.messages_sent('masked-share'):.0f}")
+    print(f"bytes on the wire : {network.bytes_sent():.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "figure4": _cmd_figure4,
+        "report": _cmd_report,
+        "protocol-demo": _cmd_protocol_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Simulated data-parallel cluster (the paper's Hadoop/Twister substrate).
+
+The paper runs its algorithms on Apache Hadoop's architecture (Fig. 1):
+each learner is an HDFS data node hosting a Mapper; a Reducer summarizes
+local results; an iterative runtime (Twister [12]) feeds the consensus
+back to the Mappers each round.  This package simulates that stack
+in-process, with explicit accounting so the paper's data-locality and
+communication claims can be *measured*:
+
+* :mod:`repro.cluster.metrics` — named counters (bytes, messages, crypto ops);
+* :mod:`repro.cluster.network` — message-passing fabric with per-message
+  byte sizes, a latency/bandwidth model, and a full message log (the
+  adversary's wire view);
+* :mod:`repro.cluster.hdfs` — blocks, data nodes, replication, and a
+  namenode; raw training data is stored as local blocks that never move;
+* :mod:`repro.cluster.scheduler` — locality-aware map-task placement;
+* :mod:`repro.cluster.mapreduce` — classic one-shot MapReduce jobs;
+* :mod:`repro.cluster.twister` — the iterative MapReduce driver with a
+  broadcast feedback channel used by the privacy-preserving trainers.
+"""
+
+from repro.cluster.hdfs import Block, HdfsError, SimulatedHdfs
+from repro.cluster.mapreduce import MapReduceJob
+from repro.cluster.metrics import MetricRegistry
+from repro.cluster.network import LatencyModel, Message, Network, NetworkError
+from repro.cluster.scheduler import LocalityScheduler, TaskAssignment
+from repro.cluster.twister import (
+    IterationResult,
+    IterativeMapper,
+    IterativeMapReduceDriver,
+    IterativeReducer,
+)
+
+__all__ = [
+    "Block",
+    "HdfsError",
+    "IterationResult",
+    "IterativeMapReduceDriver",
+    "IterativeMapper",
+    "IterativeReducer",
+    "LatencyModel",
+    "LocalityScheduler",
+    "MapReduceJob",
+    "Message",
+    "MetricRegistry",
+    "Network",
+    "NetworkError",
+    "SimulatedHdfs",
+    "TaskAssignment",
+]

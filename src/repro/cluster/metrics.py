@@ -1,0 +1,51 @@
+"""Named counters for the simulated cluster.
+
+Every subsystem (network, HDFS, crypto protocols, trainers) increments
+counters in a shared :class:`MetricRegistry`.  The experiment harness
+reads them to report the quantities the paper argues about qualitatively:
+bytes of raw data moved (should be **zero** — data locality), consensus
+traffic per iteration, number of cryptographic operations at the Reducer,
+and so on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["MetricRegistry"]
+
+
+class MetricRegistry:
+    """A flat namespace of monotonically increasing counters.
+
+    Counter names are dotted strings, e.g. ``"network.bytes.consensus"``.
+    Reads of missing counters return 0 so call sites never need guards.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Counter[str] = Counter()
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; got negative amount {amount}")
+        self._counters[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return float(self._counters.get(name, 0.0))
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {k: float(v) for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of every counter."""
+        return {k: float(v) for k, v in self._counters.items()}
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark repetitions)."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricRegistry({dict(self._counters)!r})"

@@ -1,0 +1,218 @@
+"""Simulated cluster network.
+
+All inter-node communication in the library — MapReduce shuffle, Twister
+broadcast, and every round of the secure summation protocol — flows
+through a :class:`Network`.  The network
+
+* measures each payload's serialized size (``pickle``) and accounts bytes
+  per message *kind* in the shared :class:`~repro.cluster.metrics.MetricRegistry`;
+* advances a simple simulated clock using a latency + bandwidth model
+  (:class:`LatencyModel`), so experiments can report simulated transfer
+  time in addition to wall time;
+* keeps a complete :attr:`Network.message_log`, which is exactly the
+  *wire view* a semi-honest adversary (e.g. the Reducer, or an
+  eavesdropper) can record — the security analysis in
+  :mod:`repro.security` replays this log.
+
+Nodes are identified by opaque string ids and must be registered before
+use; messages are delivered into per-node, per-kind FIFO inboxes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.metrics import MetricRegistry
+from repro.utils.validation import check_positive
+
+__all__ = ["LatencyModel", "Message", "Network", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised for protocol misuse: unknown nodes, empty inboxes, etc."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable record of one network transmission.
+
+    Attributes
+    ----------
+    seq:
+        Global sequence number (delivery order).
+    src, dst:
+        Sender and receiver node ids.
+    kind:
+        Application-level tag, e.g. ``"consensus"``, ``"mask-seed"``,
+        ``"broadcast"`` — used for byte accounting and for the adversary's
+        selective wiretaps.
+    payload:
+        The Python object transmitted (already deep-copied via
+        serialization, so sender-side mutation cannot leak through).
+    size_bytes:
+        Serialized payload size.
+    """
+
+    seq: int
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-message transfer-time model: ``latency + size / bandwidth``.
+
+    Defaults approximate a commodity gigabit cluster (0.5 ms RTT-ish
+    latency, 125 MB/s).  ``straggler_factor`` > 1 multiplies delays for
+    node ids listed in ``stragglers`` — used by fault-injection tests.
+    """
+
+    latency_s: float = 5e-4
+    bandwidth_bytes_per_s: float = 125e6
+    straggler_factor: float = 1.0
+    stragglers: frozenset[str] = field(default_factory=frozenset)
+
+    def transfer_time(self, message: Message) -> float:
+        """Simulated seconds to deliver ``message``."""
+        base = self.latency_s + message.size_bytes / self.bandwidth_bytes_per_s
+        if message.src in self.stragglers or message.dst in self.stragglers:
+            return base * self.straggler_factor
+        return base
+
+
+class Network:
+    """In-process message-passing fabric with byte accounting.
+
+    Parameters
+    ----------
+    metrics:
+        Shared counter registry; a private one is created if omitted.
+    latency_model:
+        Transfer-time model for the simulated clock.
+    keep_log:
+        Whether to retain the full message log (the adversary view).
+        Disable for very long benchmark runs to bound memory.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricRegistry | None = None,
+        latency_model: LatencyModel | None = None,
+        *,
+        keep_log: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.latency_model = latency_model if latency_model is not None else LatencyModel()
+        self.keep_log = keep_log
+        self.message_log: list[Message] = []
+        self.simulated_time_s: float = 0.0
+        self._inboxes: dict[str, dict[str, deque[Message]]] = {}
+        self._seq = 0
+        self._failed: set[str] = set()
+
+    # -- membership ---------------------------------------------------
+
+    def register(self, node_id: str) -> None:
+        """Add a node; idempotent."""
+        self._inboxes.setdefault(str(node_id), {})
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All registered node ids, in registration order."""
+        return list(self._inboxes)
+
+    def fail_node(self, node_id: str) -> None:
+        """Mark a node as crashed: sends to/from it raise ``NetworkError``."""
+        self._require_registered(node_id)
+        self._failed.add(node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        """Clear a previous :meth:`fail_node`."""
+        self._failed.discard(node_id)
+
+    # -- data plane ----------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, kind: str = "data") -> Message:
+        """Transmit ``payload`` from ``src`` to ``dst`` under tag ``kind``.
+
+        The payload is serialized (measuring its size and producing an
+        independent copy for the receiver), counters are updated, the
+        simulated clock advances, and the message lands in the receiver's
+        inbox for that kind.
+        """
+        self._require_registered(src)
+        self._require_registered(dst)
+        if src in self._failed:
+            raise NetworkError(f"node {src!r} has failed and cannot send")
+        if dst in self._failed:
+            raise NetworkError(f"node {dst!r} has failed and cannot receive")
+        if src == dst:
+            raise NetworkError("a node does not use the network to talk to itself")
+
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        message = Message(
+            seq=self._seq,
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=pickle.loads(blob),
+            size_bytes=len(blob),
+        )
+        self._seq += 1
+
+        self.metrics.increment("network.messages", 1)
+        self.metrics.increment(f"network.messages.{kind}", 1)
+        self.metrics.increment("network.bytes", message.size_bytes)
+        self.metrics.increment(f"network.bytes.{kind}", message.size_bytes)
+        self.simulated_time_s += self.latency_model.transfer_time(message)
+
+        if self.keep_log:
+            self.message_log.append(message)
+        self._inboxes[dst].setdefault(kind, deque()).append(message)
+        return message
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any, kind: str = "data") -> None:
+        """Send ``payload`` from ``src`` to every node in ``dsts``."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, kind)
+
+    def receive(self, node_id: str, kind: str = "data") -> Any:
+        """Pop the oldest pending payload of ``kind`` for ``node_id``."""
+        return self.receive_message(node_id, kind).payload
+
+    def receive_message(self, node_id: str, kind: str = "data") -> Message:
+        """Like :meth:`receive` but returns the full :class:`Message`."""
+        self._require_registered(node_id)
+        queue = self._inboxes[node_id].get(kind)
+        if not queue:
+            raise NetworkError(f"node {node_id!r} has no pending {kind!r} message")
+        return queue.popleft()
+
+    def pending(self, node_id: str, kind: str = "data") -> int:
+        """Number of undelivered messages of ``kind`` for ``node_id``."""
+        self._require_registered(node_id)
+        queue = self._inboxes[node_id].get(kind)
+        return len(queue) if queue else 0
+
+    # -- accounting ----------------------------------------------------
+
+    def bytes_sent(self, kind: str | None = None) -> float:
+        """Total bytes transmitted (optionally restricted to one kind)."""
+        name = "network.bytes" if kind is None else f"network.bytes.{kind}"
+        return self.metrics.get(name)
+
+    def messages_sent(self, kind: str | None = None) -> float:
+        """Total messages transmitted (optionally restricted to one kind)."""
+        name = "network.messages" if kind is None else f"network.messages.{kind}"
+        return self.metrics.get(name)
+
+    def _require_registered(self, node_id: str) -> None:
+        if node_id not in self._inboxes:
+            raise NetworkError(f"unknown node {node_id!r}; register it first")

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: privacy-preserving consensus SVMs.
+
+Four algorithm variants (Section IV), each available two ways:
+
+* an **in-process trainer** (:class:`HorizontalLinearSVM`,
+  :class:`HorizontalKernelSVM`, :class:`VerticalLinearSVM`,
+  :class:`VerticalKernelSVM`) that runs the pure ADMM mathematics —
+  used by unit tests, ablations, and the Fig. 4 accuracy series;
+* the **full system** (:class:`PrivacyPreservingSVM`) that executes the
+  same worker code on the simulated Hadoop/Twister cluster with the
+  coalition-resistant secure summation protocol at the Reducer.
+"""
+
+from repro.core.feature_selection import (
+    SecureFeatureSelection,
+    correlation_scores,
+    secure_feature_selection,
+    vertical_feature_selection,
+)
+from repro.core.horizontal_kernel import (
+    HorizontalKernelSVM,
+    HorizontalKernelWorker,
+    sample_landmarks,
+)
+from repro.core.horizontal_linear import HorizontalLinearSVM, HorizontalLinearWorker
+from repro.core.horizontal_logistic import HorizontalLogisticRegression, LogisticWorker
+from repro.core.partitioning import (
+    VerticalPartition,
+    horizontal_partition,
+    vertical_partition,
+)
+from repro.core.results import IterationRecord, TrainingHistory
+from repro.core.trainer import PrivacyPreservingSVM
+from repro.core.vertical_kernel import VerticalKernelSVM, VerticalKernelWorker
+from repro.core.vertical_linear import (
+    VerticalConsensusReducer,
+    VerticalLinearSVM,
+    VerticalLinearWorker,
+)
+
+__all__ = [
+    "HorizontalKernelSVM",
+    "SecureFeatureSelection",
+    "correlation_scores",
+    "secure_feature_selection",
+    "vertical_feature_selection",
+    "HorizontalKernelWorker",
+    "HorizontalLinearSVM",
+    "HorizontalLinearWorker",
+    "HorizontalLogisticRegression",
+    "IterationRecord",
+    "LogisticWorker",
+    "PrivacyPreservingSVM",
+    "TrainingHistory",
+    "VerticalConsensusReducer",
+    "VerticalKernelSVM",
+    "VerticalKernelWorker",
+    "VerticalLinearSVM",
+    "VerticalLinearWorker",
+    "VerticalPartition",
+    "horizontal_partition",
+    "sample_landmarks",
+    "vertical_partition",
+]

@@ -1,0 +1,300 @@
+"""Linear SVM over horizontally partitioned data (paper Section IV-A).
+
+The joint problem (paper eq. (6)) gives each learner its own copy
+``(w_m, b_m)`` of the separating hyperplane, constrained to a global
+consensus ``(z, s)``.  ADMM splits it into
+
+* a **local dual QP per learner** (the Map() task) — our re-derivation
+  (DESIGN.md §6): with ``a = 1/M + rho``, ``u = z - gamma_m``,
+  ``t = s - beta_m``, minimize over ``0 <= lambda <= C``
+
+      (1/2) l' [ (1/a) Y X X' Y + (1/rho) Y 1 1' Y ] l
+          + [ (rho/a) Y X u + t Y 1 - 1 ]' l
+
+  after which ``w_m = (rho u + X' Y lambda)/a`` and
+  ``b_m = t + (1' Y lambda)/rho`` (paper eqs. (12)–(13a/d), with the
+  bias penalty folding the paper's equality constraint into the
+  objective);
+
+* an **averaging step at the Reducer** (paper eqs. (13b/e)):
+  ``z = mean_m(w_m + gamma_m)``, ``s = mean_m(b_m + beta_m)`` — only
+  *sums* of local quantities are needed, which is what the secure
+  summation protocol provides;
+
+* **scaled dual updates on each learner** (paper eqs. (13c/f)):
+  ``gamma_m += w_m - z``, ``beta_m += b_m - s``.
+
+The Hessian of the local dual is constant across iterations, so each
+worker factors it conceptually once and warm-starts its QP from the
+previous ``lambda`` — this is what makes per-iteration Map() cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import IterationRecord, TrainingHistory
+from repro.data.dataset import Dataset
+from repro.svm.model import accuracy
+from repro.svm.qp import solve_box_qp
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_labels, check_matrix, check_positive
+
+__all__ = ["HorizontalLinearSVM", "HorizontalLinearWorker"]
+
+
+class HorizontalLinearWorker:
+    """One learner's Map() computation for the linear horizontal scheme.
+
+    Holds the private partition ``(X_m, y_m)`` and all per-learner ADMM
+    state (``w_m``, ``b_m``, the scaled duals ``gamma_m``, ``beta_m``,
+    and the warm-start ``lambda``).  The only thing that ever leaves the
+    worker is the return value of :meth:`step` — the masked summands of
+    the consensus average.
+
+    Parameters
+    ----------
+    X, y:
+        The learner's private rows and labels.
+    C:
+        Slack penalty (shared across learners).
+    rho:
+        ADMM penalty (the paper's "learning speed" parameter).
+    n_learners:
+        M, the number of collaborating learners.
+    qp_tol, qp_max_sweeps:
+        Local QP solver controls.
+    """
+
+    def __init__(
+        self,
+        X,
+        y,
+        *,
+        C: float = 50.0,
+        rho: float = 100.0,
+        n_learners: int,
+        qp_tol: float = 1e-8,
+        qp_max_sweeps: int = 500,
+    ) -> None:
+        self.X = check_matrix(X, "X")
+        self.y = check_labels(y, "y", length=self.X.shape[0])
+        self.C = check_positive(C, "C")
+        self.rho = check_positive(rho, "rho")
+        if n_learners < 1:
+            raise ValueError(f"n_learners must be >= 1, got {n_learners}")
+        self.n_learners = int(n_learners)
+        self.qp_tol = qp_tol
+        self.qp_max_sweeps = qp_max_sweeps
+
+        n, k = self.X.shape
+        self._a = 1.0 / self.n_learners + self.rho
+        xy = self.X * self.y[:, None]  # rows are y_i * x_i
+        self._xy = xy
+        self._H = (xy @ xy.T) / self._a + np.outer(self.y, self.y) / self.rho
+        self._lambda = np.zeros(n)
+        self.w = np.zeros(k)
+        self.b = 0.0
+        self.gamma = np.zeros(k)
+        self.beta = 0.0
+        self._started = False
+        self.last_output: dict[str, np.ndarray] | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    def step(self, z: np.ndarray, s: float) -> dict[str, np.ndarray]:
+        """Run one ADMM local iteration against consensus ``(z, s)``.
+
+        Returns the learner's summands ``{"z_contrib", "s_contrib"}``;
+        averaging them across learners yields the next ``(z, s)``.
+        """
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != self.w.shape[0]:
+            raise ValueError(f"z has length {z.shape[0]}, expected {self.w.shape[0]}")
+        s = float(s)
+
+        # Dual updates (paper eqs. (13c)/(13f)) — deferred until the new
+        # consensus arrives, so they use this worker's previous (w, b).
+        if self._started:
+            self.gamma = self.gamma + self.w - z
+            self.beta = self.beta + self.b - s
+        self._started = True
+
+        u = z - self.gamma
+        t = s - self.beta
+        d = (self.rho / self._a) * (self.y * (self.X @ u)) + t * self.y - 1.0
+        result = solve_box_qp(
+            self._H,
+            d,
+            0.0,
+            self.C,
+            x0=self._lambda,
+            tol=self.qp_tol,
+            max_sweeps=self.qp_max_sweeps,
+        )
+        self._lambda = result.x
+
+        self.w = (self.rho * u + (self._lambda * self.y) @ self.X) / self._a
+        self.b = t + float(self.y @ self._lambda) / self.rho
+        self.last_output = {
+            "z_contrib": self.w + self.gamma,
+            "s_contrib": np.array([self.b + self.beta]),
+        }
+        return self.last_output
+
+    def local_decision_function(self, X) -> np.ndarray:
+        """Scores under this learner's *local* model ``(w_m, b_m)``."""
+        X = check_matrix(X, "X")
+        return X @ self.w + self.b
+
+
+class HorizontalLinearSVM:
+    """In-process trainer for the linear horizontal scheme.
+
+    Runs the full ADMM loop over a list of local partitions without the
+    cluster machinery (useful for unit tests, ablations, and as the
+    numerical reference for the MapReduce trainer, which reuses
+    :class:`HorizontalLinearWorker` verbatim).
+
+    Parameters
+    ----------
+    C, rho:
+        Paper Section VI defaults (C = 50, rho = 100).
+    max_iter:
+        ADMM iteration budget (the paper plots 100).
+    tol:
+        Early-stopping threshold on ``||z^{t+1} - z^t||^2``; ``None``
+        disables early stopping (paper-style fixed-length runs).
+    participation:
+        Fraction of learners that perform a *fresh* local solve each
+        iteration (stale/partial-participation ADMM, an extension: the
+        remaining learners resend their cached contribution, modeling
+        slow or intermittently-available organizations).  1.0 (default)
+        is the paper's synchronous scheme.
+    """
+
+    def __init__(
+        self,
+        C: float = 50.0,
+        rho: float = 100.0,
+        *,
+        max_iter: int = 100,
+        tol: float | None = None,
+        participation: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+        qp_tol: float = 1e-8,
+        qp_max_sweeps: int = 500,
+    ) -> None:
+        self.C = check_positive(C, "C")
+        self.rho = check_positive(rho, "rho")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if not 0.0 < participation <= 1.0:
+            raise ValueError(f"participation must be in (0, 1], got {participation}")
+        self.max_iter = int(max_iter)
+        self.tol = tol
+        self.participation = float(participation)
+        self.seed = seed
+        self.qp_tol = qp_tol
+        self.qp_max_sweeps = qp_max_sweeps
+        self.workers_: list[HorizontalLinearWorker] = []
+        self.consensus_weights_: np.ndarray | None = None
+        self.consensus_bias_: float = 0.0
+        self.history_ = TrainingHistory()
+
+    def fit(
+        self,
+        partitions: list[Dataset],
+        *,
+        eval_set: Dataset | None = None,
+    ) -> "HorizontalLinearSVM":
+        """Train from per-learner datasets (see :func:`horizontal_partition`).
+
+        ``eval_set`` enables the per-iteration correct-ratio series of
+        Fig. 4(e) (scored with the consensus model).
+        """
+        if len(partitions) < 2:
+            raise ValueError("need at least 2 partitions")
+        n_features = partitions[0].n_features
+        if any(p.n_features != n_features for p in partitions):
+            raise ValueError("all partitions must share the feature dimension")
+
+        n_learners = len(partitions)
+        self.workers_ = [
+            HorizontalLinearWorker(
+                p.X,
+                p.y,
+                C=self.C,
+                rho=self.rho,
+                n_learners=n_learners,
+                qp_tol=self.qp_tol,
+                qp_max_sweeps=self.qp_max_sweeps,
+            )
+            for p in partitions
+        ]
+
+        z = np.zeros(n_features)
+        s = 0.0
+        self.history_ = TrainingHistory()
+        rng = as_rng(self.seed)
+        n_active = max(1, int(round(self.participation * n_learners)))
+
+        for iteration in range(self.max_iter):
+            if self.participation >= 1.0 or iteration == 0:
+                active = set(range(n_learners))
+            else:
+                active = set(rng.choice(n_learners, size=n_active, replace=False).tolist())
+            w_sum = np.zeros(n_features)
+            b_sum = 0.0
+            for index, worker in enumerate(self.workers_):
+                if index in active:
+                    out = worker.step(z, s)
+                else:
+                    out = worker.last_output  # stale resend
+                w_sum += out["z_contrib"]
+                b_sum += float(out["s_contrib"][0])
+            z_new = w_sum / n_learners
+            s_new = b_sum / n_learners
+
+            z_change = float(np.sum((z_new - z) ** 2) + (s_new - s) ** 2)
+            mean_w = np.mean([worker.w for worker in self.workers_], axis=0)
+            primal = float(np.linalg.norm(mean_w - z_new))
+            z, s = z_new, s_new
+
+            acc = float("nan")
+            if eval_set is not None:
+                scores = eval_set.X @ z + s
+                preds = np.where(scores >= 0, 1.0, -1.0)
+                acc = accuracy(eval_set.y, preds)
+            self.history_.append(
+                IterationRecord(
+                    iteration=iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    accuracy=acc,
+                )
+            )
+            if self.tol is not None and z_change <= self.tol:
+                break
+
+        self.consensus_weights_ = z
+        self.consensus_bias_ = s
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Scores under the consensus model ``(z, s)``."""
+        if self.consensus_weights_ is None:
+            raise RuntimeError("model must be fit before use")
+        X = check_matrix(X, "X")
+        return X @ self.consensus_weights_ + self.consensus_bias_
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted -1/+1 labels under the consensus model."""
+        scores = self.decision_function(X)
+        return np.where(scores >= 0, 1.0, -1.0)
+
+    def score(self, X, y) -> float:
+        """Accuracy of the consensus model."""
+        return accuracy(check_labels(y, "y"), self.predict(X))

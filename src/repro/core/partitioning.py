@@ -1,0 +1,171 @@
+"""Partitioning the joint training set among learners (paper Figs. 2–3).
+
+* **Horizontal** partitioning (Fig. 2): the N records are split by rows;
+  learner *m* holds ``N_m`` complete records.  Section VI assigns each
+  record to a learner uniformly at random.
+* **Vertical** partitioning (Fig. 3): the k features are split by
+  columns; every learner holds all N records but only its own feature
+  subset, and the labels are shared by all learners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import as_rng
+
+__all__ = ["VerticalPartition", "horizontal_partition", "vertical_partition"]
+
+
+def horizontal_partition(
+    dataset: Dataset,
+    n_learners: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    balanced: bool = True,
+) -> list[Dataset]:
+    """Split ``dataset`` by rows into ``n_learners`` local datasets.
+
+    Parameters
+    ----------
+    dataset:
+        The joint training set.
+    n_learners:
+        Number of learners M (the paper uses M = 4).
+    seed:
+        RNG for the random assignment.
+    balanced:
+        If True (default), learners receive equal-sized shares (±1) and
+        each share is guaranteed to contain both classes — the paper's
+        formulation requires every Mapper to solve a two-class local
+        SVM.  If False, each record is assigned i.i.d. uniformly
+        (faithful to the paper's wording but occasionally degenerate for
+        tiny datasets).
+
+    Returns
+    -------
+    list of per-learner :class:`Dataset`, named ``"<name>/learner<m>"``.
+    """
+    if n_learners < 2:
+        raise ValueError(f"need at least 2 learners, got {n_learners}")
+    if dataset.n_samples < 2 * n_learners:
+        raise ValueError(
+            f"dataset has {dataset.n_samples} rows; too few for {n_learners} learners"
+        )
+    rng = as_rng(seed)
+    n = dataset.n_samples
+
+    if balanced:
+        # Stratified dealing: shuffle within each class, deal round-robin.
+        assignment = np.empty(n, dtype=int)
+        offset = 0
+        for label in (-1.0, 1.0):
+            idx = np.flatnonzero(dataset.y == label)
+            rng.shuffle(idx)
+            assignment[idx] = (np.arange(idx.size) + offset) % n_learners
+            offset += idx.size
+    else:
+        assignment = rng.integers(0, n_learners, size=n)
+
+    partitions: list[Dataset] = []
+    for m in range(n_learners):
+        idx = np.flatnonzero(assignment == m)
+        if idx.size == 0 or np.unique(dataset.y[idx]).size < 2:
+            raise ValueError(
+                f"learner {m} received a degenerate share (empty or single-class); "
+                f"use balanced=True or a larger dataset"
+            )
+        partitions.append(dataset.subset(idx, f"{dataset.name}/learner{m}"))
+    return partitions
+
+
+@dataclass(frozen=True)
+class VerticalPartition:
+    """A vertical split: per-learner feature blocks plus the shared labels.
+
+    Attributes
+    ----------
+    features:
+        ``features[m]`` is the array of column indices held by learner m.
+    blocks:
+        ``blocks[m]`` is the ``(N, k_m)`` matrix of learner m's columns.
+    y:
+        The shared label vector (paper assumption 1 in Section IV-C).
+    """
+
+    features: list[np.ndarray]
+    blocks: list[np.ndarray]
+    y: np.ndarray
+
+    @property
+    def n_learners(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_samples(self) -> int:
+        return self.blocks[0].shape[0]
+
+    def restrict(self, selected) -> "VerticalPartition":
+        """A new partition keeping only the ``selected`` global columns.
+
+        Each learner drops its unselected columns; learners left with no
+        columns are removed.  Used after
+        :func:`~repro.core.feature_selection.vertical_feature_selection`.
+        """
+        selected_sorted = np.unique(np.asarray(selected, dtype=int))
+        # Feature indices are remapped into the *restricted* column space
+        # (the order of ``sorted(selected)``), so ``split_features`` works
+        # on matrices that contain only the selected columns.
+        remap = {int(old): new for new, old in enumerate(selected_sorted)}
+        features: list[np.ndarray] = []
+        blocks: list[np.ndarray] = []
+        for feats, block in zip(self.features, self.blocks):
+            keep = np.array([i for i, f in enumerate(feats) if int(f) in remap], dtype=int)
+            if keep.size == 0:
+                continue
+            features.append(np.array([remap[int(f)] for f in feats[keep]], dtype=int))
+            blocks.append(block[:, keep])
+        if len(blocks) < 2:
+            raise ValueError("restriction leaves fewer than 2 learners with features")
+        return VerticalPartition(features=features, blocks=blocks, y=self.y.copy())
+
+    def split_features(self, X) -> list[np.ndarray]:
+        """Split a new design matrix (e.g. test data) the same way."""
+        X = np.asarray(X, dtype=float)
+        total = sum(f.size for f in self.features)
+        if X.ndim != 2 or X.shape[1] != total:
+            raise ValueError(f"X must have {total} columns, got {X.shape}")
+        return [X[:, f] for f in self.features]
+
+
+def vertical_partition(
+    dataset: Dataset,
+    n_learners: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> VerticalPartition:
+    """Split ``dataset`` by columns into ``n_learners`` feature blocks.
+
+    Features are assigned to learners uniformly at random (the Section VI
+    protocol), with the constraint that every learner receives at least
+    one feature.
+    """
+    if n_learners < 2:
+        raise ValueError(f"need at least 2 learners, got {n_learners}")
+    k = dataset.n_features
+    if k < n_learners:
+        raise ValueError(f"dataset has {k} features; too few for {n_learners} learners")
+    rng = as_rng(seed)
+    perm = rng.permutation(k)
+    # Deal one feature to each learner first (non-emptiness), then assign
+    # the rest uniformly at random.
+    assignment = np.empty(k, dtype=int)
+    assignment[perm[:n_learners]] = np.arange(n_learners)
+    assignment[perm[n_learners:]] = rng.integers(0, n_learners, size=k - n_learners)
+
+    features = [np.sort(np.flatnonzero(assignment == m)) for m in range(n_learners)]
+    blocks = [dataset.X[:, f] for f in features]
+    return VerticalPartition(features=features, blocks=blocks, y=dataset.y.copy())

@@ -1,0 +1,47 @@
+"""Cryptographic substrate for the privacy-preserving trainers.
+
+The paper's scheme needs exactly one cryptographic primitive at run time:
+a **coalition-resistant secure summation** executed by the Reducer every
+iteration (Section V).  This package implements that protocol over the
+simulated cluster network, plus the supporting and comparison machinery:
+
+* :mod:`repro.crypto.fixed_point` — float vectors ↔ the integer group
+  Z_q the masking protocol operates in;
+* :mod:`repro.crypto.secure_sum` — the paper's protocol (Protocol 1) and
+  its :class:`~repro.cluster.twister.Aggregator` adapter;
+* :mod:`repro.crypto.paillier` — an additively homomorphic cryptosystem,
+  used by the SMC-style baselines the paper compares against in related
+  work (e.g. secure kernel computation [28], BP training [30]);
+* :mod:`repro.crypto.secret_sharing` — additive and Shamir sharing, an
+  alternative aggregation backend with a different trust model;
+* :mod:`repro.crypto.dot_product` — the classic two-party secure dot
+  product protocol on which the kernel-sharing baselines rest.
+"""
+
+from repro.crypto.dot_product import secure_dot_product
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair, PaillierPublicKey
+from repro.crypto.secret_sharing import (
+    additive_reconstruct,
+    additive_share,
+    shamir_reconstruct,
+    shamir_share,
+)
+from repro.crypto.secure_sum import SecureSumAggregator, SecureSummationProtocol
+from repro.crypto.threshold_sum import ThresholdSumAggregator, ThresholdSummationProtocol
+
+__all__ = [
+    "FixedPointCodec",
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "SecureSumAggregator",
+    "SecureSummationProtocol",
+    "ThresholdSumAggregator",
+    "ThresholdSummationProtocol",
+    "additive_reconstruct",
+    "additive_share",
+    "secure_dot_product",
+    "shamir_reconstruct",
+    "shamir_share",
+]

@@ -1,0 +1,135 @@
+"""Fixed-point encoding of real vectors into the additive group Z_q.
+
+The masking-based secure summation protocol (and additive secret
+sharing, and Paillier plaintexts) operate on integers modulo ``q``;
+training produces real vectors.  :class:`FixedPointCodec` provides the
+bridge:
+
+* ``encode(x) = round(x * 2^fractional_bits) mod q`` (centered signed
+  representation);
+* ``decode`` lifts back to the centered range and divides the scale out.
+
+Sums of up to ``max_terms`` encoded values decode exactly to the sum of
+the rounded inputs as long as the magnitudes stay below
+``max_magnitude`` — the codec checks this at encode time instead of
+silently wrapping, because a wrapped consensus average would corrupt
+training in ways that are very hard to debug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FixedPointCodec"]
+
+
+class FixedPointCodec:
+    """Encode/decode float vectors for modular arithmetic.
+
+    Parameters
+    ----------
+    fractional_bits:
+        Precision: values are represented as multiples of
+        ``2^-fractional_bits``.
+    modulus_bits:
+        Group size ``q = 2^modulus_bits``.
+    max_terms:
+        The largest number of encoded values that will ever be summed
+        before decoding (the number of learners ``M`` for secure
+        summation).  Determines the overflow-safe magnitude bound.
+    """
+
+    def __init__(
+        self,
+        fractional_bits: int = 40,
+        modulus_bits: int = 128,
+        *,
+        max_terms: int = 1024,
+        modulus: int | None = None,
+    ) -> None:
+        if fractional_bits < 1:
+            raise ValueError(f"fractional_bits must be >= 1, got {fractional_bits}")
+        if max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms}")
+        self.fractional_bits = int(fractional_bits)
+        self.max_terms = int(max_terms)
+        if modulus is not None:
+            # Explicit (possibly odd) modulus — e.g. the prime field a
+            # Shamir-based aggregator operates in.
+            if modulus < 4:
+                raise ValueError(f"modulus must be >= 4, got {modulus}")
+            self.modulus = int(modulus)
+            self.modulus_bits = self.modulus.bit_length()
+        else:
+            self.modulus = 1 << modulus_bits
+            self.modulus_bits = int(modulus_bits)
+        if self.modulus_bits <= fractional_bits + 2:
+            raise ValueError("modulus must comfortably exceed the fixed-point scale")
+        self.scale: int = 1 << fractional_bits
+        # Any single value must satisfy |x| * scale * max_terms < q / 2.
+        self.max_magnitude: float = self.modulus / (2.0 * self.scale * self.max_terms)
+
+    # -- scalars (Python ints: vectors of arbitrary-precision residues) --
+
+    def encode(self, values) -> list[int]:
+        """Encode a float vector as a list of residues modulo ``q``."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("cannot encode non-finite values")
+        too_big = np.abs(arr) >= self.max_magnitude
+        if too_big.any():
+            worst = float(np.max(np.abs(arr)))
+            raise OverflowError(
+                f"value magnitude {worst:g} exceeds the overflow-safe bound "
+                f"{self.max_magnitude:g} for max_terms={self.max_terms}; "
+                f"increase modulus_bits or reduce fractional_bits"
+            )
+        out: list[int] = []
+        for x in arr:
+            v = int(round(float(x) * self.scale)) % self.modulus
+            out.append(v)
+        return out
+
+    def decode(self, residues) -> np.ndarray:
+        """Decode residues back to floats (centered lift, then unscale)."""
+        half = self.modulus >> 1
+        out = np.empty(len(residues), dtype=float)
+        for i, r in enumerate(residues):
+            r = int(r) % self.modulus
+            if r >= half:
+                r -= self.modulus
+            out[i] = r / self.scale
+        return out
+
+    def add(self, a, b) -> list[int]:
+        """Elementwise modular addition of two residue vectors."""
+        if len(a) != len(b):
+            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+        return [(int(x) + int(y)) % self.modulus for x, y in zip(a, b)]
+
+    def subtract(self, a, b) -> list[int]:
+        """Elementwise modular subtraction of two residue vectors."""
+        if len(a) != len(b):
+            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+        return [(int(x) - int(y)) % self.modulus for x, y in zip(a, b)]
+
+    def random_vector(self, n: int, rng: np.random.Generator) -> list[int]:
+        """A uniformly random residue vector (a one-time pad mask)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        # Compose 64-bit words into uniform integers; one extra word
+        # keeps the modular-reduction bias below 2^-64 for odd moduli.
+        n_words = (self.modulus_bits + 63) // 64 + 1
+        out: list[int] = []
+        for _ in range(n):
+            value = 0
+            for _ in range(n_words):
+                value = (value << 64) | int(rng.integers(0, 2**63)) << 1 | int(rng.integers(0, 2))
+            out.append(value % self.modulus)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FixedPointCodec(fractional_bits={self.fractional_bits}, "
+            f"modulus_bits={self.modulus_bits}, max_terms={self.max_terms})"
+        )

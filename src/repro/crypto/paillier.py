@@ -1,0 +1,251 @@
+"""Paillier additively homomorphic cryptosystem (from scratch).
+
+The SMC-based approaches the paper compares against in Section II rely
+on additively homomorphic encryption — e.g. Yuan & Yu's privacy-
+preserving back-propagation [30] and the secure kernel-matrix protocols
+[28][31].  We implement textbook Paillier so the benchmark harness can
+measure how expensive an "encrypt everything" SMC baseline is relative
+to the paper's "mask only the Reduce() inputs" design.
+
+Scheme (Paillier 1999, simplified g = n + 1 variant):
+
+* KeyGen: primes p, q with |p| = |q|; n = pq; λ = lcm(p-1, q-1);
+  g = n + 1; μ = λ⁻¹ mod n.
+* Encrypt(m; r) = gᵐ · rⁿ mod n²  for m ∈ Z_n, random r ∈ Z_n*.
+* Decrypt(c) = L(c^λ mod n²) · μ mod n, with L(u) = (u - 1) / n.
+* Homomorphisms: Enc(a)·Enc(b) = Enc(a+b);  Enc(a)^k = Enc(ka).
+
+Signed integers are handled with the usual centered embedding of
+[-n/2, n/2) into Z_n.  Primality testing is Miller–Rabin with 40
+rounds.  The default key size (512-bit n) keeps simulations fast; it is
+*not* a production parameter, and the docstring of
+:meth:`PaillierKeyPair.generate` says so.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "is_probable_prime",
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def _rand_int_bits(rng: np.random.Generator, bits: int) -> int:
+    """Uniform integer with exactly ``bits`` bits (top bit set)."""
+    n_words = (bits + 62) // 63
+    value = 0
+    for _ in range(n_words):
+        value = (value << 63) | int(rng.integers(0, 2**63))
+    value &= (1 << bits) - 1
+    value |= 1 << (bits - 1)
+    return value
+
+
+def _rand_below(rng: np.random.Generator, bound: int) -> int:
+    """Uniform integer in [0, bound)."""
+    bits = bound.bit_length() + 16
+    while True:
+        candidate = _rand_int_bits(rng, bits) % (1 << bits)
+        value = candidate % bound
+        # The extra 16 bits make the modulo bias negligible for our
+        # simulation purposes.
+        return value
+
+
+def is_probable_prime(n: int, rng: np.random.Generator, rounds: int = 40) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + _rand_below(rng, n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(rng: np.random.Generator, bits: int) -> int:
+    """Random ``bits``-bit probable prime."""
+    while True:
+        candidate = _rand_int_bits(rng, bits) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """An immutable Paillier ciphertext supporting ``+`` and ``*``.
+
+    ``ct + ct`` adds plaintexts; ``ct + int`` adds a constant;
+    ``ct * int`` scales the plaintext.  All operations are homomorphic —
+    no secret key involved.
+    """
+
+    value: int
+    public_key: "PaillierPublicKey"
+
+    def __add__(self, other):
+        pk = self.public_key
+        if isinstance(other, PaillierCiphertext):
+            if other.public_key.n != pk.n:
+                raise ValueError("cannot add ciphertexts under different keys")
+            return PaillierCiphertext((self.value * other.value) % pk.n_squared, pk)
+        if isinstance(other, (int, np.integer)):
+            return self + pk.encrypt_raw(int(other) % pk.n, obfuscate=False)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, (int, np.integer)):
+            return NotImplemented
+        pk = self.public_key
+        k = int(scalar) % pk.n
+        return PaillierCiphertext(pow(self.value, k, pk.n_squared), pk)
+
+    __rmul__ = __mul__
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """The public half of a Paillier key pair (n, with g = n + 1)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def half_n(self) -> int:
+        return self.n // 2
+
+    def encode_signed(self, m: int) -> int:
+        """Center a signed integer into Z_n."""
+        if abs(m) >= self.half_n:
+            raise OverflowError(f"plaintext magnitude {m} exceeds n/2")
+        return m % self.n
+
+    def decode_signed(self, m: int) -> int:
+        """Lift from Z_n back to the centered signed range."""
+        m %= self.n
+        return m - self.n if m >= self.half_n else m
+
+    def encrypt_raw(
+        self,
+        m: int,
+        *,
+        rng: np.random.Generator | None = None,
+        obfuscate: bool = True,
+    ) -> PaillierCiphertext:
+        """Encrypt a residue ``m`` in Z_n.
+
+        With ``obfuscate=False`` the deterministic ciphertext
+        ``g^m mod n²`` is produced (used internally for adding public
+        constants; never for private data).
+        """
+        if not 0 <= m < self.n:
+            raise ValueError("plaintext must be reduced into Z_n")
+        nsq = self.n_squared
+        # g = n + 1 gives g^m = 1 + m*n (mod n^2): one multiplication.
+        cipher = (1 + m * self.n) % nsq
+        if obfuscate:
+            rng = as_rng(rng)
+            while True:
+                r = 1 + _rand_below(rng, self.n - 1)
+                if math.gcd(r, self.n) == 1:
+                    break
+            cipher = (cipher * pow(r, self.n, nsq)) % nsq
+        return PaillierCiphertext(cipher, self)
+
+    def encrypt(
+        self, m: int, *, rng: np.random.Generator | None = None
+    ) -> PaillierCiphertext:
+        """Encrypt a signed integer."""
+        return self.encrypt_raw(self.encode_signed(int(m)), rng=rng)
+
+    def encrypt_vector(
+        self, values, *, rng: np.random.Generator | None = None
+    ) -> list[PaillierCiphertext]:
+        """Encrypt each entry of an integer vector."""
+        rng = as_rng(rng)
+        return [self.encrypt(int(v), rng=rng) for v in values]
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """A full Paillier key pair (public key plus λ, μ)."""
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+    @classmethod
+    def generate(
+        cls, bits: int = 512, *, seed: int | np.random.Generator | None = None
+    ) -> "PaillierKeyPair":
+        """Generate a key pair with an n of roughly ``bits`` bits.
+
+        The default 512-bit modulus keeps the SMC-baseline benchmarks
+        fast; real deployments need >= 2048 bits.
+        """
+        if bits < 64:
+            raise ValueError(f"bits must be >= 64, got {bits}")
+        rng = as_rng(seed)
+        half = bits // 2
+        while True:
+            p = _generate_prime(rng, half)
+            q = _generate_prime(rng, half)
+            if p != q:
+                break
+        n = p * q
+        lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+        mu = pow(lam, -1, n)
+        return cls(public_key=PaillierPublicKey(n), lam=lam, mu=mu)
+
+    def decrypt_raw(self, ciphertext: PaillierCiphertext) -> int:
+        """Decrypt to a residue in Z_n."""
+        pk = self.public_key
+        if ciphertext.public_key.n != pk.n:
+            raise ValueError("ciphertext was produced under a different key")
+        u = pow(ciphertext.value, self.lam, pk.n_squared)
+        ell = (u - 1) // pk.n
+        return (ell * self.mu) % pk.n
+
+    def decrypt(self, ciphertext: PaillierCiphertext) -> int:
+        """Decrypt to a signed integer."""
+        return self.public_key.decode_signed(self.decrypt_raw(ciphertext))
+
+    def decrypt_vector(self, ciphertexts) -> list[int]:
+        """Decrypt a list of ciphertexts to signed integers."""
+        return [self.decrypt(c) for c in ciphertexts]

@@ -1,0 +1,124 @@
+"""Additive and Shamir secret sharing.
+
+Secret sharing is the third classic way (besides pairwise masking and
+homomorphic encryption) to realize the secure aggregation the paper
+needs at the Reducer.  We provide both flavors so the benchmark harness
+can compare trust models:
+
+* **additive sharing** over Z_q — n-of-n: all shares are needed, any
+  n-1 reveal nothing; identical privacy to the paper's masking protocol
+  but shares can be routed through multiple aggregators;
+* **Shamir sharing** over a prime field — t-of-n threshold: tolerates
+  dropouts (up to n-t), which pairwise masking does not.
+
+Both operate on Python integers; use
+:class:`~repro.crypto.fixed_point.FixedPointCodec` to bridge from real
+vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "MERSENNE_PRIME_127",
+    "additive_reconstruct",
+    "additive_share",
+    "shamir_reconstruct",
+    "shamir_share",
+]
+
+#: A Mersenne prime comfortably larger than any fixed-point encoding we
+#: use; the default Shamir field.
+MERSENNE_PRIME_127 = (1 << 127) - 1
+
+
+def _rand_field_element(rng: np.random.Generator, modulus: int) -> int:
+    value = 0
+    for _ in range((modulus.bit_length() + 62) // 63):
+        value = (value << 63) | int(rng.integers(0, 2**63))
+    return value % modulus
+
+
+def additive_share(
+    secret: int,
+    n_shares: int,
+    *,
+    modulus: int = 1 << 128,
+    rng: np.random.Generator | None = None,
+) -> list[int]:
+    """Split ``secret`` into ``n_shares`` uniform values summing to it mod q."""
+    if n_shares < 2:
+        raise ValueError(f"need at least 2 shares, got {n_shares}")
+    rng = as_rng(rng)
+    secret %= modulus
+    shares = [_rand_field_element(rng, modulus) for _ in range(n_shares - 1)]
+    last = (secret - sum(shares)) % modulus
+    shares.append(last)
+    return shares
+
+
+def additive_reconstruct(shares, *, modulus: int = 1 << 128) -> int:
+    """Recombine additive shares."""
+    if not shares:
+        raise ValueError("no shares given")
+    return sum(int(s) for s in shares) % modulus
+
+
+def shamir_share(
+    secret: int,
+    n_shares: int,
+    threshold: int,
+    *,
+    prime: int = MERSENNE_PRIME_127,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``secret`` into ``n_shares`` Shamir shares with ``threshold`` needed.
+
+    Returns ``(x, f(x))`` pairs for x = 1..n over the field GF(prime),
+    where f is a random degree-(threshold-1) polynomial with
+    ``f(0) = secret``.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    if n_shares < threshold:
+        raise ValueError(f"n_shares ({n_shares}) must be >= threshold ({threshold})")
+    if n_shares >= prime:
+        raise ValueError("field too small for that many shares")
+    rng = as_rng(rng)
+    secret %= prime
+    coeffs = [secret] + [_rand_field_element(rng, prime) for _ in range(threshold - 1)]
+
+    shares: list[tuple[int, int]] = []
+    for x in range(1, n_shares + 1):
+        # Horner evaluation of the polynomial at x.
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % prime
+        shares.append((x, acc))
+    return shares
+
+
+def shamir_reconstruct(shares, *, prime: int = MERSENNE_PRIME_127) -> int:
+    """Recover the secret from >= threshold Shamir shares.
+
+    Lagrange interpolation at 0.  Raises on duplicate x coordinates.
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("no shares given")
+    xs = [int(x) for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    secret = 0
+    for i, (x_i, y_i) in enumerate(shares):
+        num, den = 1, 1
+        for j, (x_j, _) in enumerate(shares):
+            if i == j:
+                continue
+            num = (num * (-x_j)) % prime
+            den = (den * (x_i - x_j)) % prime
+        secret = (secret + y_i * num * pow(den, -1, prime)) % prime
+    return secret

@@ -1,0 +1,38 @@
+"""Datasets: synthetic stand-ins for the paper's three evaluation sets.
+
+The paper evaluates on UCI breast cancer, HIGGS, and UCI optdigits (OCR).
+This environment has no network access, so :mod:`repro.data.synthetic`
+provides generators calibrated to the same shapes and difficulty levels
+(see DESIGN.md, "Substitutions").  :mod:`repro.data.splits` provides the
+50/50 train/test protocol used throughout Section VI.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.loaders import load_csv, load_libsvm, save_csv, save_libsvm
+from repro.data.scaling import StandardScaler
+from repro.data.splits import kfold_indices, train_test_split
+from repro.data.synthetic import (
+    make_blobs,
+    make_cancer_like,
+    make_higgs_like,
+    make_linear_task,
+    make_ocr_like,
+    make_xor_task,
+)
+
+__all__ = [
+    "Dataset",
+    "StandardScaler",
+    "kfold_indices",
+    "load_csv",
+    "load_libsvm",
+    "make_blobs",
+    "make_cancer_like",
+    "make_higgs_like",
+    "make_linear_task",
+    "make_ocr_like",
+    "make_xor_task",
+    "save_csv",
+    "save_libsvm",
+    "train_test_split",
+]

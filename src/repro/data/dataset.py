@@ -1,0 +1,70 @@
+"""A small immutable container pairing a design matrix with labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A binary-classification dataset.
+
+    Attributes
+    ----------
+    X:
+        ``(n_samples, n_features)`` design matrix.
+    y:
+        ``(n_samples,)`` vector of -1/+1 labels.
+    name:
+        Human-readable identifier (used by the experiment harness when
+        printing figure series, e.g. ``"cancer"``).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = field(default="dataset")
+
+    def __post_init__(self) -> None:
+        X = check_matrix(self.X, "X")
+        y = check_labels(self.y, "y", length=X.shape[0])
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of columns."""
+        return self.X.shape[1]
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return the dataset restricted to ``indices`` (rows)."""
+        idx = np.asarray(indices, dtype=int)
+        return Dataset(self.X[idx], self.y[idx], name or self.name)
+
+    def feature_subset(self, columns: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return the dataset restricted to ``columns`` (features)."""
+        cols = np.asarray(columns, dtype=int)
+        return Dataset(self.X[:, cols], self.y, name or self.name)
+
+    def class_balance(self) -> float:
+        """Fraction of samples labeled +1."""
+        return float(np.mean(self.y > 0))
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(name={self.name!r}, n_samples={self.n_samples}, "
+            f"n_features={self.n_features}, balance={self.class_balance():.2f})"
+        )

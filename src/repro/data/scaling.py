@@ -1,0 +1,55 @@
+"""Feature standardization.
+
+SVM solvers (centralized and distributed alike) are sensitive to feature
+scales; the experiment harness standardizes features on the training half
+and applies the same transform to the test half.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_matrix
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance standardization fit on training data.
+
+    Constant features (zero variance) are left centered but unscaled to
+    avoid division by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        """Estimate per-feature mean and standard deviation."""
+        X = check_matrix(X, "X")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fit before transform")
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fit on {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit on ``X`` and return the transformed matrix."""
+        return self.fit(X).transform(X)
+
+    def transform_dataset(self, dataset: Dataset) -> Dataset:
+        """Return a new :class:`Dataset` with standardized features."""
+        return Dataset(self.transform(dataset.X), dataset.y, dataset.name)

@@ -1,0 +1,95 @@
+"""Train/test split helpers.
+
+Section VI of the paper evaluates every dataset with a 50/50 train/test
+split; :func:`train_test_split` defaults to that protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["kfold_indices", "train_test_split"]
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.5,
+    *,
+    stratify: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Dataset, Dataset]:
+    """Split ``dataset`` into train and test subsets.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    test_fraction:
+        Fraction of samples assigned to the test set (paper uses 0.5).
+    stratify:
+        Preserve the class balance in both halves (recommended; the
+        paper's random 50/50 split is stratified in expectation).
+    seed:
+        RNG seed for reproducibility.
+
+    Returns
+    -------
+    (train, test):
+        Two :class:`Dataset` instances named ``"<name>/train"`` and
+        ``"<name>/test"``.
+    """
+    test_fraction = check_probability(test_fraction, "test_fraction")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(seed)
+    n = dataset.n_samples
+
+    if stratify:
+        test_mask = np.zeros(n, dtype=bool)
+        for label in (-1.0, 1.0):
+            class_idx = np.flatnonzero(dataset.y == label)
+            rng.shuffle(class_idx)
+            n_test = int(round(test_fraction * class_idx.size))
+            test_mask[class_idx[:n_test]] = True
+        test_idx = np.flatnonzero(test_mask)
+        train_idx = np.flatnonzero(~test_mask)
+    else:
+        perm = rng.permutation(n)
+        n_test = int(round(test_fraction * n))
+        test_idx = perm[:n_test]
+        train_idx = perm[n_test:]
+
+    if train_idx.size == 0 or test_idx.size == 0:
+        raise ValueError("split produced an empty train or test set")
+    train = dataset.subset(train_idx, f"{dataset.name}/train")
+    test = dataset.subset(test_idx, f"{dataset.name}/test")
+    return train, test
+
+
+def kfold_indices(
+    n_samples: int,
+    n_folds: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``n_folds`` (train_idx, test_idx) pairs covering all samples.
+
+    Folds are contiguous chunks of a random permutation; sizes differ by at
+    most one sample.
+    """
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if n_samples < n_folds:
+        raise ValueError(f"need at least {n_folds} samples, got {n_samples}")
+    rng = as_rng(seed)
+    perm = rng.permutation(n_samples)
+    folds = np.array_split(perm, n_folds)
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for i, test_idx in enumerate(folds):
+        train_idx = np.concatenate([f for j, f in enumerate(folds) if j != i])
+        out.append((train_idx, test_idx))
+    return out

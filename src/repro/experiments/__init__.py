@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every figure and table of the paper.
+
+* :mod:`repro.experiments.figure4` — the eight panels of Fig. 4
+  (convergence ``||z^{t+1}-z^t||^2`` and correct ratio, for
+  {linear, kernel} x {horizontal, vertical} on the three datasets);
+* :mod:`repro.experiments.tables` — the quantitative claims made in
+  prose (centralized benchmark accuracies, secure-summation overhead
+  vs an encrypt-everything SMC baseline, scalability in M, comparison
+  against the related-work baselines);
+* :mod:`repro.experiments.ablation` — sweeps over the design knobs the
+  paper discusses (rho, C, landmark count).
+
+Every function returns plain data plus a ``format_*`` helper that
+prints the same rows/series the paper reports; the ``benchmarks/``
+directory wires them into pytest-benchmark, and ``EXPERIMENTS.md``
+records paper-vs-measured values.
+"""
+
+from repro.experiments.config import (
+    DATASET_GAMMAS,
+    PAPER_SIZES,
+    QUICK_SIZES,
+    ExperimentConfig,
+)
+from repro.experiments.datasets import load_benchmark_datasets
+from repro.experiments.figure4 import (
+    PANELS,
+    PanelResult,
+    format_panel,
+    run_panel,
+    run_variant,
+)
+from repro.experiments.tables import (
+    baseline_comparison_table,
+    centralized_baseline_table,
+    crypto_overhead_table,
+    format_table,
+    scalability_table,
+)
+
+__all__ = [
+    "DATASET_GAMMAS",
+    "ExperimentConfig",
+    "PANELS",
+    "PAPER_SIZES",
+    "PanelResult",
+    "QUICK_SIZES",
+    "baseline_comparison_table",
+    "centralized_baseline_table",
+    "crypto_overhead_table",
+    "format_panel",
+    "format_table",
+    "load_benchmark_datasets",
+    "run_panel",
+    "run_variant",
+    "scalability_table",
+]

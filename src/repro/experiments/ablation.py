@@ -1,0 +1,119 @@
+"""Ablations over the design knobs the paper discusses in Section VI.
+
+* **rho** — "the learning speed parameter": high rho weights consensus
+  over max-margin; low rho the reverse.  We sweep rho and report how
+  fast the consensus settles and where accuracy lands.
+* **C** — slack penalty: high C prioritizes strict separation over
+  margin width (the paper's own explanation).
+* **landmark count l** — the horizontal-kernel scheme approximates the
+  RKHS consensus with l landmark projections (Lemma 4.4); more
+  landmarks mean better approximation but linearly more consensus
+  traffic per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.horizontal_kernel import HorizontalKernelSVM
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.partitioning import horizontal_partition
+from repro.experiments.config import DATASET_GAMMAS, ExperimentConfig
+from repro.experiments.datasets import load_benchmark_datasets
+from repro.svm.kernels import RBFKernel
+
+__all__ = ["c_sweep", "landmark_sweep", "rho_sweep"]
+
+
+def _iterations_to(history_z_changes: np.ndarray, threshold: float) -> float:
+    """First iteration whose z-change drops below ``threshold`` (nan if never)."""
+    below = np.flatnonzero(history_z_changes <= threshold)
+    return float(below[0]) if below.size else float("nan")
+
+
+def rho_sweep(
+    rhos: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0),
+    config: ExperimentConfig | None = None,
+    *,
+    dataset: str = "cancer",
+) -> tuple[list[str], list[list]]:
+    """Ablation A1: ADMM penalty rho on the linear horizontal scheme."""
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets({dataset: config.sizes.get(dataset, 569)}, seed=config.seed)
+    train, test = datasets[dataset]
+    parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+
+    headers = ["rho", "final_z_change", "iters_to_1e-3", "accuracy"]
+    rows: list[list] = []
+    for rho in rhos:
+        model = HorizontalLinearSVM(C=config.C, rho=rho, max_iter=config.max_iter).fit(parts)
+        z_changes = model.history_.z_changes
+        rows.append(
+            [
+                rho,
+                float(z_changes[-1]),
+                _iterations_to(z_changes, 1e-3),
+                model.score(test.X, test.y),
+            ]
+        )
+    return headers, rows
+
+
+def c_sweep(
+    cs: tuple[float, ...] = (1.0, 10.0, 50.0, 200.0),
+    config: ExperimentConfig | None = None,
+    *,
+    dataset: str = "cancer",
+) -> tuple[list[str], list[list]]:
+    """Ablation: slack penalty C on the linear horizontal scheme."""
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets({dataset: config.sizes.get(dataset, 569)}, seed=config.seed)
+    train, test = datasets[dataset]
+    parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+
+    headers = ["C", "accuracy", "final_z_change"]
+    rows: list[list] = []
+    for c_value in cs:
+        model = HorizontalLinearSVM(C=c_value, rho=config.rho, max_iter=config.max_iter).fit(parts)
+        rows.append([c_value, model.score(test.X, test.y), float(model.history_.z_changes[-1])])
+    return headers, rows
+
+
+def landmark_sweep(
+    landmark_counts: tuple[int, ...] = (5, 10, 20, 40),
+    config: ExperimentConfig | None = None,
+    *,
+    dataset: str = "cancer",
+) -> tuple[list[str], list[list]]:
+    """Ablation A2: landmark count l in the horizontal kernel scheme.
+
+    ``consensus_floats_per_iter`` counts the values each learner must
+    contribute to the secure sum per iteration (l + 1) — the
+    communication the landmark approximation buys down.
+    """
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets({dataset: config.sizes.get(dataset, 569)}, seed=config.seed)
+    train, test = datasets[dataset]
+    parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+    gamma = DATASET_GAMMAS.get(dataset, 0.1)
+
+    headers = ["n_landmarks", "accuracy", "final_z_change", "consensus_floats_per_iter"]
+    rows: list[list] = []
+    for n_land in landmark_counts:
+        model = HorizontalKernelSVM(
+            RBFKernel(gamma=gamma),
+            C=config.C,
+            rho=config.rho,
+            n_landmarks=n_land,
+            max_iter=config.max_iter,
+            seed=config.seed,
+        ).fit(parts)
+        rows.append(
+            [
+                n_land,
+                model.score(test.X, test.y),
+                float(model.history_.z_changes[-1]),
+                n_land + 1,
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,174 @@
+"""Figure 4 regeneration: the paper's eight evaluation panels.
+
+Panel map (paper Section VI):
+
+====== ============================== =========================
+panel  quantity                       scheme
+====== ============================== =========================
+(a)    ||z^{t+1}-z^t||^2 vs iteration linear horizontal
+(b)    ||z^{t+1}-z^t||^2              nonlinear horizontal
+(c)    ||z^{t+1}-z^t||^2              linear vertical
+(d)    ||z^{t+1}-z^t||^2              nonlinear vertical
+(e)    correct ratio vs iteration     linear horizontal
+(f)    correct ratio                  nonlinear horizontal
+(g)    correct ratio                  linear vertical
+(h)    correct ratio                  nonlinear vertical
+====== ============================== =========================
+
+Each panel shows all three datasets.  :func:`run_variant` trains one
+scheme on one dataset and returns both series (so e.g. panels (a) and
+(e) share one training run); :func:`run_panel` assembles a full panel;
+:func:`format_panel` prints the series as the rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.horizontal_kernel import HorizontalKernelSVM
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.partitioning import horizontal_partition, vertical_partition
+from repro.core.results import TrainingHistory
+from repro.core.vertical_kernel import VerticalKernelSVM
+from repro.core.vertical_linear import VerticalLinearSVM
+from repro.data.dataset import Dataset
+from repro.experiments.config import DATASET_GAMMAS, ExperimentConfig
+from repro.experiments.datasets import load_benchmark_datasets
+from repro.svm.kernels import RBFKernel
+
+__all__ = ["PANELS", "PanelResult", "format_panel", "run_panel", "run_variant"]
+
+#: panel letter -> (quantity, scheme) selector.
+PANELS: dict[str, tuple[str, str]] = {
+    "a": ("convergence", "horizontal-linear"),
+    "b": ("convergence", "horizontal-kernel"),
+    "c": ("convergence", "vertical-linear"),
+    "d": ("convergence", "vertical-kernel"),
+    "e": ("accuracy", "horizontal-linear"),
+    "f": ("accuracy", "horizontal-kernel"),
+    "g": ("accuracy", "vertical-linear"),
+    "h": ("accuracy", "vertical-kernel"),
+}
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """One regenerated panel of Fig. 4.
+
+    Attributes
+    ----------
+    panel:
+        Letter "a"–"h".
+    quantity:
+        ``"convergence"`` or ``"accuracy"``.
+    scheme:
+        Which of the four algorithm variants produced it.
+    series:
+        Dataset name -> per-iteration values.
+    final_accuracy:
+        Dataset name -> last-iteration correct ratio (context for
+        convergence panels too).
+    """
+
+    panel: str
+    quantity: str
+    scheme: str
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    final_accuracy: dict[str, float] = field(default_factory=dict)
+
+
+def run_variant(
+    scheme: str,
+    train: Dataset,
+    test: Dataset,
+    config: ExperimentConfig,
+    *,
+    gamma: float = 0.1,
+) -> TrainingHistory:
+    """Train one scheme on one (train, test) pair; return its history.
+
+    ``scheme`` is one of ``"horizontal-linear"``, ``"horizontal-kernel"``,
+    ``"vertical-linear"``, ``"vertical-kernel"``.
+    """
+    if scheme == "horizontal-linear":
+        parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+        model = HorizontalLinearSVM(
+            C=config.C, rho=config.rho, max_iter=config.max_iter
+        ).fit(parts, eval_set=test)
+        return model.history_
+    if scheme == "horizontal-kernel":
+        parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+        model = HorizontalKernelSVM(
+            RBFKernel(gamma=gamma),
+            C=config.C,
+            rho=config.rho,
+            n_landmarks=config.n_landmarks,
+            max_iter=config.max_iter,
+            seed=config.seed,
+        ).fit(parts, eval_set=test)
+        return model.history_
+    if scheme == "vertical-linear":
+        partition = vertical_partition(train, config.n_learners, seed=config.seed)
+        model = VerticalLinearSVM(C=config.C, rho=config.rho, max_iter=config.max_iter).fit(
+            partition, eval_X=test.X, eval_y=test.y
+        )
+        return model.history_
+    if scheme == "vertical-kernel":
+        partition = vertical_partition(train, config.n_learners, seed=config.seed)
+        model = VerticalKernelSVM(
+            RBFKernel(gamma=gamma), C=config.C, rho=config.rho, max_iter=config.max_iter
+        ).fit(partition, eval_X=test.X, eval_y=test.y)
+        return model.history_
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def run_panel(panel: str, config: ExperimentConfig | None = None) -> PanelResult:
+    """Regenerate one Fig. 4 panel across the three benchmark datasets."""
+    if panel not in PANELS:
+        raise ValueError(f"panel must be one of {sorted(PANELS)}, got {panel!r}")
+    config = config if config is not None else ExperimentConfig()
+    quantity, scheme = PANELS[panel]
+
+    datasets = load_benchmark_datasets(config.sizes, seed=config.seed)
+    series: dict[str, np.ndarray] = {}
+    final_acc: dict[str, float] = {}
+    for name, (train, test) in datasets.items():
+        gamma = DATASET_GAMMAS.get(name, 0.1)
+        history = run_variant(scheme, train, test, config, gamma=gamma)
+        series[name] = history.z_changes if quantity == "convergence" else history.accuracies
+        final_acc[name] = history.final_accuracy()
+    return PanelResult(
+        panel=panel,
+        quantity=quantity,
+        scheme=scheme,
+        series=series,
+        final_accuracy=final_acc,
+    )
+
+
+def format_panel(result: PanelResult, *, every: int = 10) -> str:
+    """Render a panel as the numeric rows behind the paper's plot.
+
+    ``every`` thins the series to one row per that many iterations.
+    """
+    names = sorted(result.series)
+    lines = [
+        f"Fig. 4({result.panel}) — {result.quantity}, {result.scheme}",
+        "iter  " + "  ".join(f"{n:>12s}" for n in names),
+    ]
+    n_iter = max(len(s) for s in result.series.values())
+    for i in list(range(0, n_iter, every)) + [n_iter - 1]:
+        cells = []
+        for name in names:
+            s = result.series[name]
+            value = s[i] if i < len(s) else float("nan")
+            cells.append(
+                f"{value:>12.4e}" if result.quantity == "convergence" else f"{value:>12.4f}"
+            )
+        lines.append(f"{i:>4d}  " + "  ".join(cells))
+    if result.quantity == "convergence":
+        accs = "  ".join(f"{n}={result.final_accuracy[n]:.3f}" for n in names)
+        lines.append(f"(final correct ratios: {accs})")
+    return "\n".join(lines)

@@ -1,0 +1,301 @@
+"""Prose-claim tables: the paper's quantitative statements as harnesses.
+
+The paper has no numbered tables, but Section I/V/VI make measurable
+claims.  Each function here regenerates one of them (see the experiment
+index in DESIGN.md):
+
+* **S1** — centralized benchmark accuracies (~95% cancer, ~70% HIGGS,
+  ~98% OCR on 50/50 splits);
+* **S2** — cryptographic overhead: the paper's "limited number of
+  cryptographic operations at the Reducer" versus an encrypt-everything
+  Paillier SMC baseline;
+* **S3** — scalability in the number of learners M, plus the
+  data-locality invariant (raw bytes moved = 0);
+* **S4** — accuracy/trust comparison against the related-work baselines
+  (random kernel, DP, no collaboration).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.baselines.local_only import LocalOnlySVM
+from repro.baselines.random_kernel import RandomKernelSVM
+from repro.core.partitioning import horizontal_partition
+from repro.core.trainer import PrivacyPreservingSVM
+from repro.cluster.network import Network
+from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.secure_sum import SecureSummationProtocol
+from repro.experiments.config import DATASET_GAMMAS, ExperimentConfig
+from repro.experiments.datasets import load_benchmark_datasets
+from repro.svm.kernels import RBFKernel
+from repro.svm.model import SVC, LinearSVC
+
+__all__ = [
+    "baseline_comparison_table",
+    "centralized_baseline_table",
+    "crypto_overhead_table",
+    "format_table",
+    "scalability_table",
+]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def centralized_baseline_table(
+    config: ExperimentConfig | None = None,
+) -> tuple[list[str], list[list]]:
+    """Table S1: centralized SVM accuracies on the three datasets."""
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets(config.sizes, seed=config.seed)
+    headers = ["dataset", "n_train", "n_features", "linear_acc", "rbf_acc", "paper_acc"]
+    paper = {"cancer": 0.95, "higgs": 0.70, "ocr": 0.98}
+    rows: list[list] = []
+    for name in sorted(datasets):
+        train, test = datasets[name]
+        linear = LinearSVC(C=config.C).fit(train.X, train.y)
+        rbf = SVC(RBFKernel(gamma=DATASET_GAMMAS[name]), C=config.C).fit(train.X, train.y)
+        rows.append(
+            [
+                name,
+                train.n_samples,
+                train.n_features,
+                linear.score(test.X, test.y),
+                rbf.score(test.X, test.y),
+                paper[name],
+            ]
+        )
+    return headers, rows
+
+
+def crypto_overhead_table(
+    config: ExperimentConfig | None = None,
+    *,
+    max_iter: int = 20,
+    dim: int | None = None,
+    rounds: int = 5,
+    paillier_bits: int = 512,
+) -> tuple[list[str], list[list]]:
+    """Table S2: per-round cost of the aggregation strategies.
+
+    All rows price the *same primitive* — aggregating M learners'
+    dim-sized consensus contributions into their sum at the Reducer —
+    so the comparison is apples-to-apples:
+
+    * plaintext — M unprotected sends plus a numpy sum (the cost floor);
+    * the paper's fresh-mask protocol and the PRG-mask optimization;
+    * an encrypt-everything Paillier baseline (every learner encrypts
+      its full contribution each round; the Reducer adds ciphertexts;
+      a key holder decrypts).
+
+    ``max_iter`` is unused by the measurement itself and kept for
+    signature compatibility with the other table generators.
+    """
+    del max_iter
+    config = config if config is not None else ExperimentConfig()
+    rng = np.random.default_rng(config.seed)
+    if dim is None:
+        # The linear-horizontal consensus payload: weight vector + bias.
+        datasets = load_benchmark_datasets(
+            {"cancer": config.sizes.get("cancer", 569)}, seed=config.seed
+        )
+        dim = datasets["cancer"][0].n_features + 1
+    m = config.n_learners
+    values = {f"m{i}": rng.normal(size=dim) for i in range(m)}
+    expected = sum(values.values())
+
+    headers = [
+        "aggregation",
+        "bytes_per_round",
+        "messages_per_round",
+        "crypto_ops_per_round",
+        "seconds_per_round",
+    ]
+    rows: list[list] = []
+
+    # Plaintext floor: send each vector, sum at the reducer.
+    network = Network()
+    for node in [*values, "red"]:
+        network.register(node)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for node, vec in values.items():
+            network.send(node, "red", vec, kind="consensus")
+        total = np.zeros(dim)
+        for _ in values:
+            total = total + network.receive("red", kind="consensus")
+    plain_time = (time.perf_counter() - start) / rounds
+    np.testing.assert_allclose(total, expected, atol=1e-9)
+    rows.append(
+        [
+            "plaintext",
+            network.bytes_sent() / rounds,
+            network.messages_sent() / rounds,
+            0.0,
+            plain_time,
+        ]
+    )
+
+    # The paper's masking protocol, both mask modes.
+    for label, mode in [("masking-fresh (paper)", "fresh"), ("masking-prg", "prg")]:
+        network = Network(keep_log=False)
+        protocol = SecureSummationProtocol(
+            network, list(values), "red", mode=mode, seed=config.seed
+        )
+        setup_bytes = network.bytes_sent()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            result = protocol.sum_vectors(values)
+        elapsed = (time.perf_counter() - start) / rounds
+        np.testing.assert_allclose(result, expected, atol=1e-8)
+        rows.append(
+            [
+                label,
+                (network.bytes_sent() - setup_bytes) / rounds,
+                network.messages_sent() / rounds,
+                network.metrics.get("crypto.masks_generated") / rounds,
+                elapsed,
+            ]
+        )
+
+    # Paillier SMC baseline: M encrypted vectors, homomorphic sum,
+    # decryption sweep.
+    keypair = PaillierKeyPair.generate(bits=paillier_bits, seed=config.seed)
+    pk = keypair.public_key
+    int_vectors = [
+        [int(v * 2**20) for v in vec] for vec in values.values()
+    ]
+    start = time.perf_counter()
+    for _ in range(max(1, rounds // 5)):
+        encrypted = [pk.encrypt_vector(vec, rng=rng) for vec in int_vectors]
+        totals = encrypted[0]
+        for enc in encrypted[1:]:
+            totals = [a + b for a, b in zip(totals, enc)]
+        keypair.decrypt_vector(totals)
+    paillier_time = (time.perf_counter() - start) / max(1, rounds // 5)
+    ciphertext_bytes = (pk.n_squared.bit_length() + 7) // 8
+    rows.append(
+        [
+            f"paillier-{paillier_bits} (SMC baseline)",
+            float(m * dim * ciphertext_bytes),
+            float(m),
+            float(m * dim),
+            paillier_time,
+        ]
+    )
+    return headers, rows
+
+
+def scalability_table(
+    config: ExperimentConfig | None = None,
+    *,
+    learner_counts: tuple[int, ...] = (2, 4, 8, 16),
+    max_iter: int = 20,
+) -> tuple[list[str], list[list]]:
+    """Table S3: cost and accuracy versus the number of learners M."""
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets({"cancer": config.sizes.get("cancer", 569)}, seed=config.seed)
+    train, test = datasets["cancer"]
+
+    headers = [
+        "n_learners",
+        "accuracy",
+        "bytes_per_iter",
+        "mask_msgs_per_iter",
+        "seconds_per_iter",
+        "raw_data_bytes_moved",
+    ]
+    rows: list[list] = []
+    for m in learner_counts:
+        parts = horizontal_partition(train, m, seed=config.seed)
+        start = time.perf_counter()
+        model = PrivacyPreservingSVM(
+            "horizontal", C=config.C, rho=config.rho, max_iter=max_iter, seed=config.seed
+        ).fit(parts)
+        elapsed = time.perf_counter() - start
+        summary = model.communication_summary()
+        iters = summary["iterations"]
+        rows.append(
+            [
+                m,
+                model.score(test.X, test.y),
+                summary["total_bytes"] / iters,
+                summary["masks_generated"] / iters,
+                elapsed / iters,
+                summary["raw_data_bytes_moved"],
+            ]
+        )
+    return headers, rows
+
+
+def baseline_comparison_table(
+    config: ExperimentConfig | None = None,
+    *,
+    dataset: str = "cancer",
+    max_iter: int = 50,
+) -> tuple[list[str], list[list]]:
+    """Table S4: our scheme against the related-work baselines.
+
+    The "discloses" column states what each scheme hands to an
+    untrusted party — the qualitative axis of the paper's Section II
+    comparison.
+    """
+    config = config if config is not None else ExperimentConfig()
+    datasets = load_benchmark_datasets(
+        {dataset: config.sizes.get(dataset, 569)}, seed=config.seed
+    )
+    train, test = datasets[dataset]
+    parts = horizontal_partition(train, config.n_learners, seed=config.seed)
+
+    headers = ["scheme", "accuracy", "discloses"]
+    rows: list[list] = []
+
+    centralized = SVC(C=config.C).fit(train.X, train.y)
+    rows.append(["centralized SVM (benchmark)", centralized.score(test.X, test.y), "all raw data pooled"])
+
+    ours = PrivacyPreservingSVM(
+        "horizontal", C=config.C, rho=config.rho, max_iter=max_iter, seed=config.seed
+    ).fit(parts)
+    rows.append(["this paper (secure consensus)", ours.score(test.X, test.y), "masked sums only"])
+
+    local = LocalOnlySVM(C=config.C).fit(parts)
+    rows.append(["local-only (no collaboration)", local.score(test.X, test.y), "nothing"])
+
+    projected = RandomKernelSVM(C=config.C, seed=config.seed).fit(parts)
+    rows.append(
+        ["random kernel [21]", projected.score(test.X, test.y), "projected data (shared secret)"]
+    )
+
+    for eps in (1.0, 0.1):
+        dp = DPLogisticRegression(epsilon=eps, lam=0.01, seed=config.seed).fit(train.X, train.y)
+        rows.append(
+            [f"DP logistic regression eps={eps} [7]", dp.score(test.X, test.y), "noised weights"]
+        )
+    return headers, rows

@@ -1,0 +1,172 @@
+"""Model persistence: save and load trained classifiers.
+
+A deployment need the paper does not cover but any adopter hits
+immediately: after the (expensive, multi-party) training completes, the
+resulting classifier must be stored and shipped.  Models serialize to a
+single ``.npz`` file holding a JSON header plus the numeric arrays.
+
+Supported models (the ones whose state is meaningful to persist):
+
+* :class:`repro.svm.model.SVC` / :class:`repro.svm.model.LinearSVC`
+  (support vectors, duals, kernel config);
+* :class:`repro.core.horizontal_linear.HorizontalLinearSVM` and
+  :class:`repro.core.horizontal_logistic.HorizontalLogisticRegression`
+  (the consensus hyperplane — the artifact all learners agree on);
+* :class:`repro.baselines.dp.DPLogisticRegression` (released weights).
+
+Note on privacy: a *kernel* model's state includes its support vectors,
+i.e. raw training rows.  Persisting one is an action of the data owner
+for its own use; this module intentionally refuses to serialize the
+kernel consensus trainers whose state spans multiple owners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.horizontal_logistic import HorizontalLogisticRegression
+from repro.svm.kernels import kernel_by_name
+from repro.svm.model import SVC, LinearSVC
+
+__all__ = ["load_model", "save_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _kernel_config(kernel) -> dict:
+    name = type(kernel).__name__
+    if name == "LinearKernel":
+        return {"name": "linear"}
+    if name == "PolynomialKernel":
+        return {
+            "name": "poly",
+            "degree": kernel.degree,
+            "scale": kernel.scale,
+            "offset": kernel.offset,
+        }
+    if name == "RBFKernel":
+        return {"name": "rbf", "gamma": kernel.gamma}
+    if name == "SigmoidKernel":
+        return {"name": "sigmoid", "scale": kernel.scale, "offset": kernel.offset}
+    raise ValueError(f"cannot serialize kernel type {name}")
+
+
+def _build_kernel(config: dict):
+    params = {k: v for k, v in config.items() if k != "name"}
+    return kernel_by_name(config["name"], **params)
+
+
+def save_model(model, path: str | os.PathLike) -> None:
+    """Serialize a supported trained model to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(model, LinearSVC):
+        if model.coef_ is None:
+            raise ValueError("model must be fit before saving")
+        header = {
+            "type": "LinearSVC",
+            "C": model.C,
+            "intercept": model.intercept_,
+        }
+        arrays["coef"] = model.coef_
+    elif isinstance(model, SVC):
+        if model.alpha_ is None:
+            raise ValueError("model must be fit before saving")
+        header = {
+            "type": "SVC",
+            "C": model.C,
+            "bias": model.bias_,
+            "kernel": _kernel_config(model.kernel),
+        }
+        # Store only the support set: sufficient for prediction, smaller.
+        support = model.support_indices_
+        arrays["alpha"] = model.alpha_[support]
+        arrays["X"] = model.X_[support]
+        arrays["y"] = model.y_[support]
+    elif isinstance(model, HorizontalLinearSVM):
+        if model.consensus_weights_ is None:
+            raise ValueError("model must be fit before saving")
+        header = {
+            "type": "HorizontalLinearSVM",
+            "C": model.C,
+            "rho": model.rho,
+            "bias": model.consensus_bias_,
+        }
+        arrays["weights"] = model.consensus_weights_
+    elif isinstance(model, HorizontalLogisticRegression):
+        if model.consensus_weights_ is None:
+            raise ValueError("model must be fit before saving")
+        header = {
+            "type": "HorizontalLogisticRegression",
+            "lam": model.lam,
+            "rho": model.rho,
+            "bias": model.consensus_bias_,
+        }
+        arrays["weights"] = model.consensus_weights_
+    elif isinstance(model, DPLogisticRegression):
+        if model.coef_ is None:
+            raise ValueError("model must be fit before saving")
+        header = {
+            "type": "DPLogisticRegression",
+            "epsilon": model.epsilon if np.isfinite(model.epsilon) else "inf",
+            "lam": model.lam,
+            "radius": model._radius,
+        }
+        arrays["coef"] = model.coef_
+    else:
+        raise TypeError(f"cannot serialize models of type {type(model).__name__}")
+
+    header["format_version"] = _FORMAT_VERSION
+    np.savez(
+        path,
+        __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_model(path: str | os.PathLike):
+    """Load a model previously written by :func:`save_model`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["__header__"]).decode())
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format version {version}")
+        model_type = header["type"]
+
+        if model_type == "LinearSVC":
+            model = LinearSVC(C=header["C"])
+            model.coef_ = data["coef"]
+            model.intercept_ = float(header["intercept"])
+            model.alpha_ = np.zeros(1)  # marks the model as fitted
+            return model
+        if model_type == "SVC":
+            model = SVC(kernel=_build_kernel(header["kernel"]), C=header["C"])
+            model.alpha_ = data["alpha"]
+            model.X_ = data["X"]
+            model.y_ = data["y"]
+            model.bias_ = float(header["bias"])
+            return model
+        if model_type == "HorizontalLinearSVM":
+            model = HorizontalLinearSVM(C=header["C"], rho=header["rho"])
+            model.consensus_weights_ = data["weights"]
+            model.consensus_bias_ = float(header["bias"])
+            return model
+        if model_type == "HorizontalLogisticRegression":
+            model = HorizontalLogisticRegression(lam=header["lam"], rho=header["rho"])
+            model.consensus_weights_ = data["weights"]
+            model.consensus_bias_ = float(header["bias"])
+            return model
+        if model_type == "DPLogisticRegression":
+            epsilon = header["epsilon"]
+            model = DPLogisticRegression(
+                epsilon=float("inf") if epsilon == "inf" else float(epsilon),
+                lam=header["lam"],
+            )
+            model.coef_ = data["coef"]
+            model._radius = float(header["radius"])
+            return model
+    raise ValueError(f"unknown model type {model_type!r}")

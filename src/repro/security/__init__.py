@@ -1,0 +1,44 @@
+"""Security analysis machinery (paper Section V).
+
+The paper's threat model: semi-honest learners and a semi-honest
+Reducer; per-iteration local results ``w_m`` are sensitive (an adversary
+collecting them could reverse-engineer the private training set); the
+scheme is secure iff local results are averaged without disclosing any
+individual value, even against coalitions.
+
+This package makes those claims *executable*:
+
+* :mod:`repro.security.adversary` — reconstructs the exact views
+  (wiretapped message sets) available to a semi-honest Reducer, a global
+  eavesdropper, or a coalition of Reducer + corrupted Mappers, by
+  replaying the simulated network's message log;
+* :mod:`repro.security.analysis` — quantifies what each view reveals:
+  recovery attempts against the masking protocol, statistical
+  uniformity of masked shares, and the kernel-matrix linear-system
+  attack ([8]/[29]) that breaks the secure-dot-product baselines the
+  paper critiques.
+"""
+
+from repro.security.adversary import (
+    AdversaryView,
+    coalition_view,
+    eavesdropper_view,
+    reducer_view,
+)
+from repro.security.analysis import (
+    coalition_recovery_attempt,
+    kernel_linear_system_attack,
+    plaintext_leak_check,
+    share_uniformity_statistic,
+)
+
+__all__ = [
+    "AdversaryView",
+    "coalition_recovery_attempt",
+    "coalition_view",
+    "eavesdropper_view",
+    "kernel_linear_system_attack",
+    "plaintext_leak_check",
+    "reducer_view",
+    "share_uniformity_statistic",
+]

@@ -1,0 +1,107 @@
+"""Adversary views: what each semi-honest party actually observes.
+
+Because every byte of the protocols flows through the simulated
+:class:`~repro.cluster.network.Network`, an adversary's knowledge is
+precisely a subset of the message log.  The three standard views:
+
+* **Reducer view** — messages delivered *to* the Reducer (its inbox).
+  Under the paper's protocol this is the masked shares only.
+* **Eavesdropper view** — every message on the wire (a global passive
+  network adversary).  Sees masks *and* masked shares, but each pairwise
+  mask still pads the share of both its endpoints.
+* **Coalition view** — the Reducer plus a set of corrupted Mappers pool
+  everything they sent, received, or generated.  The paper's protocol
+  resists any coalition that leaves >= 2 Mappers honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import Message, Network
+
+__all__ = ["AdversaryView", "coalition_view", "eavesdropper_view", "reducer_view"]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """A set of observed messages plus who is corrupted.
+
+    Attributes
+    ----------
+    corrupted:
+        Node ids whose internal state the adversary controls.
+    messages:
+        The wiretapped messages, in wire order.
+    """
+
+    corrupted: frozenset[str]
+    messages: tuple[Message, ...] = field(default_factory=tuple)
+
+    def of_kind(self, kind: str) -> list[Message]:
+        """Messages with the given application tag."""
+        return [m for m in self.messages if m.kind == kind]
+
+    def payloads(self, kind: str) -> list:
+        """Payloads of all messages with the given tag."""
+        return [m.payload for m in self.messages if m.kind == kind]
+
+    def received_by(self, node_id: str, kind: str | None = None) -> list[Message]:
+        """Messages in the view delivered to ``node_id``."""
+        return [
+            m
+            for m in self.messages
+            if m.dst == node_id and (kind is None or m.kind == kind)
+        ]
+
+    def sent_by(self, node_id: str, kind: str | None = None) -> list[Message]:
+        """Messages in the view originated by ``node_id``."""
+        return [
+            m
+            for m in self.messages
+            if m.src == node_id and (kind is None or m.kind == kind)
+        ]
+
+
+def _require_log(network: Network) -> list[Message]:
+    if not network.keep_log:
+        raise ValueError("network was created with keep_log=False; no view to replay")
+    return network.message_log
+
+
+def reducer_view(network: Network, reducer_id: str = "reducer") -> AdversaryView:
+    """The semi-honest Reducer's view: exactly its incoming messages."""
+    log = _require_log(network)
+    return AdversaryView(
+        corrupted=frozenset({reducer_id}),
+        messages=tuple(m for m in log if m.dst == reducer_id),
+    )
+
+
+def eavesdropper_view(network: Network) -> AdversaryView:
+    """A global passive eavesdropper: the entire wire."""
+    log = _require_log(network)
+    return AdversaryView(corrupted=frozenset(), messages=tuple(log))
+
+
+def coalition_view(
+    network: Network,
+    corrupted_mappers: list[str],
+    reducer_id: str = "reducer",
+    *,
+    include_reducer: bool = True,
+) -> AdversaryView:
+    """Pooled view of the Reducer (optionally) plus corrupted Mappers.
+
+    A corrupted node contributes every message it sent or received —
+    including the pairwise masks it exchanged, which is what a coalition
+    attack tries to exploit.
+    """
+    log = _require_log(network)
+    corrupted = set(corrupted_mappers)
+    if include_reducer:
+        corrupted.add(reducer_id)
+    return AdversaryView(
+        corrupted=frozenset(corrupted),
+        messages=tuple(m for m in log if m.src in corrupted or m.dst in corrupted),
+    )

@@ -1,0 +1,180 @@
+"""Kernel functions (Section III-B of the paper).
+
+The paper lists the three most popular kernels — polynomial, radial basis
+function, and sigmoid — in addition to the plain linear (inner-product)
+kernel.  Each kernel object computes full Gram matrices ``K(A, B)``
+vectorized over NumPy; the distributed algorithms only ever touch data
+through these Gram matrices (the kernel trick of eqs. (20)–(25)).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "RBFKernel",
+    "SigmoidKernel",
+    "kernel_by_name",
+]
+
+
+class Kernel(abc.ABC):
+    """Abstract kernel ``K : R^k x R^k -> R`` evaluated on row batches."""
+
+    @abc.abstractmethod
+    def __call__(self, A, B) -> np.ndarray:
+        """Return the Gram matrix ``K(A, B)`` of shape ``(len(A), len(B))``."""
+
+    def gram(self, X) -> np.ndarray:
+        """Symmetric Gram matrix ``K(X, X)``."""
+        X = check_matrix(X, "X")
+        K = self(X, X)
+        # Enforce exact symmetry against floating-point drift; downstream
+        # solvers assume symmetric PSD matrices.
+        return 0.5 * (K + K.T)
+
+    def diagonal(self, X) -> np.ndarray:
+        """The diagonal ``K(x_i, x_i)`` without forming the full Gram matrix."""
+        X = check_matrix(X, "X")
+        return np.array([float(self(X[i : i + 1], X[i : i + 1])[0, 0]) for i in range(len(X))])
+
+    def _pair_check(self, A, B) -> tuple[np.ndarray, np.ndarray]:
+        A = check_matrix(A, "A")
+        B = check_matrix(B, "B")
+        if A.shape[1] != B.shape[1]:
+            raise ValueError(
+                f"kernel operands must share feature dimension, got {A.shape[1]} and {B.shape[1]}"
+            )
+        return A, B
+
+
+class LinearKernel(Kernel):
+    """``K(x, x') = <x, x'>`` — recovers the linear SVM."""
+
+    def __call__(self, A, B) -> np.ndarray:
+        A, B = self._pair_check(A, B)
+        return A @ B.T
+
+    def __repr__(self) -> str:
+        return "LinearKernel()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LinearKernel)
+
+    def __hash__(self) -> int:
+        return hash("LinearKernel")
+
+
+class PolynomialKernel(Kernel):
+    """``K(x, x') = (a <x, x'> + b)^d`` (paper's polynomial kernel)."""
+
+    def __init__(self, degree: int = 3, scale: float = 1.0, offset: float = 1.0) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = int(degree)
+        self.scale = check_positive(scale, "scale")
+        self.offset = float(offset)
+
+    def __call__(self, A, B) -> np.ndarray:
+        A, B = self._pair_check(A, B)
+        return (self.scale * (A @ B.T) + self.offset) ** self.degree
+
+    def __repr__(self) -> str:
+        return f"PolynomialKernel(degree={self.degree}, scale={self.scale}, offset={self.offset})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PolynomialKernel)
+            and (self.degree, self.scale, self.offset)
+            == (other.degree, other.scale, other.offset)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PolynomialKernel", self.degree, self.scale, self.offset))
+
+
+class RBFKernel(Kernel):
+    """``K(x, x') = exp(-gamma ||x - x'||^2)``.
+
+    The paper writes the RBF kernel as ``e^{||x_i - x_j||^2}`` — a typo
+    (that kernel would be unbounded); we implement the standard Gaussian
+    RBF with bandwidth parameter ``gamma > 0``.
+    """
+
+    def __init__(self, gamma: float = 0.5) -> None:
+        self.gamma = check_positive(gamma, "gamma")
+
+    def __call__(self, A, B) -> np.ndarray:
+        A, B = self._pair_check(A, B)
+        sq_a = np.sum(A * A, axis=1)[:, None]
+        sq_b = np.sum(B * B, axis=1)[None, :]
+        sq_dist = np.maximum(sq_a + sq_b - 2.0 * (A @ B.T), 0.0)
+        return np.exp(-self.gamma * sq_dist)
+
+    def diagonal(self, X) -> np.ndarray:
+        """RBF self-similarity is identically 1."""
+        X = check_matrix(X, "X")
+        return np.ones(X.shape[0])
+
+    def __repr__(self) -> str:
+        return f"RBFKernel(gamma={self.gamma})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RBFKernel) and self.gamma == other.gamma
+
+    def __hash__(self) -> int:
+        return hash(("RBFKernel", self.gamma))
+
+
+class SigmoidKernel(Kernel):
+    """``K(x, x') = tanh(a <x, x'> + c)`` (paper's sigmoid kernel).
+
+    Note this kernel is not positive semidefinite for all parameter
+    choices; it is included for completeness of the Section III-B list.
+    """
+
+    def __init__(self, scale: float = 1.0, offset: float = 0.0) -> None:
+        self.scale = check_positive(scale, "scale")
+        self.offset = float(offset)
+
+    def __call__(self, A, B) -> np.ndarray:
+        A, B = self._pair_check(A, B)
+        return np.tanh(self.scale * (A @ B.T) + self.offset)
+
+    def __repr__(self) -> str:
+        return f"SigmoidKernel(scale={self.scale}, offset={self.offset})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SigmoidKernel) and (self.scale, self.offset) == (
+            other.scale,
+            other.offset,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("SigmoidKernel", self.scale, self.offset))
+
+
+def kernel_by_name(name: str, **params) -> Kernel:
+    """Construct a kernel from its string name.
+
+    Accepted names: ``"linear"``, ``"poly"``/``"polynomial"``, ``"rbf"``,
+    ``"sigmoid"``.  Extra keyword arguments are forwarded to the kernel
+    constructor.
+    """
+    key = name.strip().lower()
+    if key == "linear":
+        return LinearKernel()
+    if key in ("poly", "polynomial"):
+        return PolynomialKernel(**params)
+    if key == "rbf":
+        return RBFKernel(**params)
+    if key == "sigmoid":
+        return SigmoidKernel(**params)
+    raise ValueError(f"unknown kernel name {name!r}")

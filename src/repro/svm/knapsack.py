@@ -1,0 +1,148 @@
+"""Exact continuous quadratic-knapsack solver.
+
+The Reducer step of the vertically partitioned scheme (paper eq. (29))
+must solve a QP whose Hessian is **diagonal**, subject to a box and a
+single linear equality constraint:
+
+    minimize    sum_i (a_i/2) x_i^2 + d_i x_i
+    subject to  sum_i c_i x_i = r,     lo_i <= x_i <= hi_i.
+
+This is the classic continuous quadratic knapsack problem.  The KKT
+conditions give, for a scalar multiplier ``nu``,
+
+    x_i(nu) = clip((-d_i - nu * c_i) / a_i, lo_i, hi_i),
+
+and ``phi(nu) = sum_i c_i x_i(nu)`` is continuous and nonincreasing in
+``nu``, so the feasible multiplier is found by bracketing + bisection.
+This solves the Reducer QP *exactly* in O(n log(1/eps)) — much faster than
+a generic QP solver, and it is the step executed once per ADMM iteration
+on the consensus node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_vector
+
+__all__ = ["KnapsackResult", "solve_quadratic_knapsack"]
+
+
+@dataclass(frozen=True)
+class KnapsackResult:
+    """Solution of a continuous quadratic knapsack problem.
+
+    Attributes
+    ----------
+    x:
+        The minimizer.
+    nu:
+        The equality-constraint multiplier at the solution.
+    constraint_residual:
+        ``|sum_i c_i x_i - r|`` at the returned point.
+    iterations:
+        Bisection iterations used.
+    """
+
+    x: np.ndarray
+    nu: float
+    constraint_residual: float
+    iterations: int
+
+
+def solve_quadratic_knapsack(
+    a,
+    d,
+    c,
+    r: float = 0.0,
+    lower=0.0,
+    upper=np.inf,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> KnapsackResult:
+    """Solve the diagonal QP with one equality constraint described above.
+
+    Parameters
+    ----------
+    a:
+        Strictly positive diagonal of the Hessian.
+    d:
+        Linear term.
+    c:
+        Equality-constraint coefficients (e.g. the labels ``y_i``); must
+        not be all zero unless ``r`` is 0.
+    r:
+        Right-hand side of the equality constraint.
+    lower, upper:
+        Box bounds (scalars broadcast).
+    tol:
+        Bisection tolerance on the constraint residual.
+    max_iter:
+        Maximum bisection iterations.
+
+    Raises
+    ------
+    ValueError
+        If the problem is infeasible (no x in the box satisfies the
+        equality constraint) or ``a`` is not strictly positive.
+    """
+    a = check_vector(a, "a")
+    n = a.shape[0]
+    if np.any(a <= 0.0):
+        raise ValueError("diagonal Hessian entries must be strictly positive")
+    d = check_vector(d, "d", length=n)
+    c = check_vector(c, "c", length=n)
+    lo = np.broadcast_to(np.asarray(lower, dtype=float), (n,)).copy()
+    hi = np.broadcast_to(np.asarray(upper, dtype=float), (n,)).copy()
+    if np.any(lo > hi):
+        raise ValueError("lower bound exceeds upper bound on some coordinate")
+    r = float(r)
+
+    # Feasibility check: the range of sum c_i x_i over the box.
+    max_sum = float(np.sum(np.where(c > 0, c * hi, c * lo)))
+    min_sum = float(np.sum(np.where(c > 0, c * lo, c * hi)))
+    if not (min_sum - 1e-9 <= r <= max_sum + 1e-9):
+        raise ValueError(
+            f"infeasible knapsack: r={r} outside achievable range [{min_sum}, {max_sum}]"
+        )
+
+    def x_of(nu: float) -> np.ndarray:
+        return np.clip((-d - nu * c) / a, lo, hi)
+
+    def phi(nu: float) -> float:
+        return float(c @ x_of(nu)) - r
+
+    # Bracket the root: phi is nonincreasing, phi(-inf) -> max_sum - r >= 0,
+    # phi(+inf) -> min_sum - r <= 0.
+    nu_lo, nu_hi = -1.0, 1.0
+    for _ in range(200):
+        if phi(nu_lo) >= 0.0:
+            break
+        nu_lo *= 2.0
+    for _ in range(200):
+        if phi(nu_hi) <= 0.0:
+            break
+        nu_hi *= 2.0
+
+    iterations = 0
+    nu = 0.0
+    for iterations in range(1, max_iter + 1):
+        nu = 0.5 * (nu_lo + nu_hi)
+        value = phi(nu)
+        if abs(value) <= tol:
+            break
+        if value > 0.0:
+            nu_lo = nu
+        else:
+            nu_hi = nu
+
+    x = x_of(nu)
+    return KnapsackResult(
+        x=x,
+        nu=nu,
+        constraint_residual=abs(float(c @ x) - r),
+        iterations=iterations,
+    )

@@ -1,0 +1,132 @@
+"""Multiclass reductions: one-vs-rest and one-vs-one.
+
+The paper's OCR dataset is inherently 10-class; like the paper, the
+core algorithms handle the binary case, and these reductions lift any
+binary classifier with the ``fit(X, y) / decision_function(X)``
+protocol (centralized SVC or a distributed consensus trainer via a
+factory) to multiclass.  This is the standard LIBSVM approach (OvO) and
+its cheaper cousin (OvR).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["OneVsOneClassifier", "OneVsRestClassifier"]
+
+BinaryFactory = Callable[[], object]
+
+
+def _check_multiclass_labels(y) -> np.ndarray:
+    y = np.asarray(y, dtype=float).ravel()
+    classes = np.unique(y)
+    if classes.size < 2:
+        raise ValueError("need at least 2 classes")
+    return y
+
+
+class OneVsRestClassifier:
+    """One-vs-rest reduction over any binary margin classifier.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh binary classifier with
+        ``fit(X, y)`` (y in -1/+1) and ``decision_function(X)``.
+    """
+
+    def __init__(self, factory: BinaryFactory) -> None:
+        self.factory = factory
+        self.classes_: np.ndarray | None = None
+        self.models_: list = []
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        """Train one binary model per class (that class vs all others)."""
+        X = check_matrix(X, "X")
+        y = _check_multiclass_labels(y)
+        self.classes_ = np.unique(y)
+        self.models_ = []
+        for cls in self.classes_:
+            binary_y = np.where(y == cls, 1.0, -1.0)
+            model = self.factory()
+            model.fit(X, binary_y)
+            self.models_.append(model)
+        return self
+
+    def decision_matrix(self, X) -> np.ndarray:
+        """Per-class margins, shape ``(n_samples, n_classes)``."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier must be fit before use")
+        X = check_matrix(X, "X")
+        return np.column_stack([m.decision_function(X) for m in self.models_])
+
+    def predict(self, X) -> np.ndarray:
+        """Class with the largest margin."""
+        scores = self.decision_matrix(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Multiclass accuracy."""
+        y = _check_multiclass_labels(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+class OneVsOneClassifier:
+    """One-vs-one reduction with majority voting (LIBSVM's strategy).
+
+    Trains ``k(k-1)/2`` pairwise models; prediction is by vote, with
+    ties broken by the summed pairwise margins.
+    """
+
+    def __init__(self, factory: BinaryFactory) -> None:
+        self.factory = factory
+        self.classes_: np.ndarray | None = None
+        self.models_: list[tuple[float, float, object]] = []
+
+    def fit(self, X, y) -> "OneVsOneClassifier":
+        """Train one binary model per unordered class pair."""
+        X = check_matrix(X, "X")
+        y = _check_multiclass_labels(y)
+        self.classes_ = np.unique(y)
+        self.models_ = []
+        for i, a in enumerate(self.classes_):
+            for b in self.classes_[i + 1 :]:
+                mask = (y == a) | (y == b)
+                binary_y = np.where(y[mask] == a, 1.0, -1.0)
+                model = self.factory()
+                model.fit(X[mask], binary_y)
+                self.models_.append((float(a), float(b), model))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Majority vote over pairwise classifiers."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier must be fit before use")
+        X = check_matrix(X, "X")
+        n = X.shape[0]
+        votes: dict[float, np.ndarray] = defaultdict(lambda: np.zeros(n))
+        margins: dict[float, np.ndarray] = defaultdict(lambda: np.zeros(n))
+        for a, b, model in self.models_:
+            scores = model.decision_function(X)
+            wins_a = scores >= 0
+            votes[a] += wins_a
+            votes[b] += ~wins_a
+            margins[a] += scores
+            margins[b] -= scores
+        classes = self.classes_
+        vote_matrix = np.column_stack([votes[float(c)] for c in classes])
+        margin_matrix = np.column_stack([margins[float(c)] for c in classes])
+        # argmax on votes; stable tie-break via margins scaled to < 1 vote.
+        margin_span = np.abs(margin_matrix).max() + 1.0
+        combined = vote_matrix + margin_matrix / (2.0 * margin_span)
+        return classes[np.argmax(combined, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Multiclass accuracy."""
+        y = _check_multiclass_labels(y)
+        return float(np.mean(self.predict(X) == y))

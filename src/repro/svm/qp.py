@@ -1,0 +1,152 @@
+"""Box-constrained convex quadratic programming.
+
+The ADMM local subproblems of the horizontally partitioned schemes reduce
+to duals of the form
+
+    minimize    (1/2) x' H x + d' x
+    subject to  lo <= x <= hi   (elementwise)
+
+with ``H`` symmetric positive semidefinite (eq. (12) of the paper, after
+the bias penalty removes the equality constraint — see DESIGN.md §6).
+
+We solve this with cyclic exact coordinate descent, safeguarded by a
+projected-gradient optimality check: for box-constrained convex QPs,
+coordinate descent with exact per-coordinate minimization converges to a
+global minimizer, each coordinate update is a closed-form clip, and the
+gradient can be maintained incrementally in O(n) per update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["BoxQPResult", "solve_box_qp"]
+
+
+@dataclass(frozen=True)
+class BoxQPResult:
+    """Solution of a box-constrained QP.
+
+    Attributes
+    ----------
+    x:
+        The minimizer found.
+    iterations:
+        Number of full coordinate sweeps performed.
+    kkt_residual:
+        Infinity norm of the projected gradient at ``x`` (0 at exact
+        optimality).
+    converged:
+        Whether ``kkt_residual <= tol`` was reached within the sweep
+        budget.
+    objective:
+        Final objective value ``(1/2) x'Hx + d'x``.
+    """
+
+    x: np.ndarray
+    iterations: int
+    kkt_residual: float
+    converged: bool
+    objective: float
+
+
+def projected_gradient_residual(
+    grad: np.ndarray, x: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> float:
+    """Infinity norm of the projected gradient (first-order KKT residual).
+
+    A coordinate contributes its gradient magnitude unless it sits at the
+    bound the gradient is pushing it towards.
+    """
+    residual = grad.copy()
+    residual[(x <= lo) & (grad > 0)] = 0.0
+    residual[(x >= hi) & (grad < 0)] = 0.0
+    return float(np.max(np.abs(residual))) if residual.size else 0.0
+
+
+def solve_box_qp(
+    H,
+    d,
+    lower=0.0,
+    upper=np.inf,
+    *,
+    x0=None,
+    tol: float = 1e-8,
+    max_sweeps: int = 2000,
+) -> BoxQPResult:
+    """Minimize ``(1/2) x'Hx + d'x`` subject to ``lower <= x <= upper``.
+
+    Parameters
+    ----------
+    H:
+        Symmetric PSD matrix of shape ``(n, n)``.
+    d:
+        Linear term of length ``n``.
+    lower, upper:
+        Box bounds; scalars broadcast to all coordinates.
+    x0:
+        Optional warm start (projected onto the box).  Warm starting with
+        the previous ADMM iterate cuts sweeps dramatically in the
+        distributed trainers.
+    tol:
+        Convergence threshold on the projected-gradient infinity norm.
+    max_sweeps:
+        Budget of full coordinate sweeps.
+
+    Returns
+    -------
+    BoxQPResult
+    """
+    H = check_matrix(H, "H")
+    n = H.shape[0]
+    if H.shape[1] != n:
+        raise ValueError(f"H must be square, got {H.shape}")
+    d = check_vector(d, "d", length=n)
+    lo = np.broadcast_to(np.asarray(lower, dtype=float), (n,)).copy()
+    hi = np.broadcast_to(np.asarray(upper, dtype=float), (n,)).copy()
+    if np.any(lo > hi):
+        raise ValueError("lower bound exceeds upper bound on some coordinate")
+
+    if x0 is None:
+        x = np.clip(np.zeros(n), lo, hi)
+    else:
+        x = np.clip(check_vector(x0, "x0", length=n), lo, hi)
+
+    grad = H @ x + d
+    diag = np.diag(H).copy()
+    residual = projected_gradient_residual(grad, x, lo, hi)
+    sweeps = 0
+
+    while residual > tol and sweeps < max_sweeps:
+        for i in range(n):
+            g_i = grad[i]
+            if diag[i] > 0.0:
+                new_xi = np.clip(x[i] - g_i / diag[i], lo[i], hi[i])
+            else:
+                # Degenerate coordinate: objective is linear in x_i, so
+                # the minimizer sits at a bound (or stays put if g_i = 0).
+                if g_i > 0.0:
+                    new_xi = lo[i]
+                elif g_i < 0.0:
+                    new_xi = hi[i]
+                else:
+                    new_xi = x[i]
+            delta = new_xi - x[i]
+            if delta != 0.0:
+                grad += delta * H[:, i]
+                x[i] = new_xi
+        sweeps += 1
+        residual = projected_gradient_residual(grad, x, lo, hi)
+
+    objective = float(0.5 * x @ (grad - d) + d @ x)
+    return BoxQPResult(
+        x=x,
+        iterations=sweeps,
+        kkt_residual=residual,
+        converged=residual <= tol,
+        objective=objective,
+    )

@@ -1,0 +1,111 @@
+"""Terminal (ASCII) plotting for convergence/accuracy curves.
+
+The benchmark environment has no display and no plotting libraries, so
+the experiment harness renders Fig.-4-style curves as text.  Supports
+linear and log-scaled y axes and multiple named series, mirroring the
+paper's panels (three datasets per panel).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_plot(
+    series: dict[str, np.ndarray],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+    y_label: str = "",
+    x_label: str = "iteration",
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to 1-D value array; all series share the
+        x axis 0..len-1.
+    title, y_label, x_label:
+        Decorations.
+    width, height:
+        Plot-area size in characters.
+    logy:
+        Log-scale the y axis (as the paper's convergence panels do);
+        non-positive values are clamped to the smallest positive value.
+
+    Returns
+    -------
+    The chart as a newline-joined string.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    cleaned: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float).ravel()
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} has no finite values")
+        cleaned[name] = arr
+
+    all_values = np.concatenate(list(cleaned.values()))
+    if logy:
+        positive = all_values[all_values > 0]
+        if positive.size == 0:
+            raise ValueError("log-scale plot needs positive values")
+        floor = float(positive.min())
+        transform = lambda v: math.log10(max(float(v), floor))
+        y_min, y_max = transform(positive.min()), transform(all_values.max())
+    else:
+        transform = float
+        y_min, y_max = float(all_values.min()), float(all_values.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+
+    n_points = max(len(v) for v in cleaned.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    for idx, (name, values) in enumerate(sorted(cleaned.items())):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for i, value in enumerate(values):
+            x = int(round(i / max(n_points - 1, 1) * (width - 1)))
+            ty = transform(value)
+            y = int(round((ty - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - y][x] = marker
+
+    def fmt(v: float) -> str:
+        real = 10.0**v if logy else v
+        return f"{real:9.2e}" if (abs(real) >= 1e4 or 0 < abs(real) < 1e-2) else f"{real:9.3f}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_max)
+    bottom_label = fmt(y_min)
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label
+        elif row_idx == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = " " * 9
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 9 + " " + "-" * (width + 2))
+    lines.append(" " * 10 + f"0{x_label:^{width - 10}}{n_points - 1}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(sorted(cleaned))
+    )
+    suffix = f"   [{y_label}{', log10' if logy else ''}]" if y_label or logy else ""
+    lines.append(" " * 10 + legend + suffix)
+    return "\n".join(lines)

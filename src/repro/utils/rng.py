@@ -1,0 +1,40 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps the
+rest of the code base deterministic and easy to test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed
+        seed, or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used to give each simulated learner / node its own RNG stream so that
+    per-node randomness does not depend on scheduling order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = as_rng(seed)
+    seq = np.random.SeedSequence(root.integers(0, 2**63 - 1))
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

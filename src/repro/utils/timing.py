@@ -1,0 +1,59 @@
+"""Lightweight timing utilities used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("solve"):
+    ...     _ = sum(range(1000))
+    >>> sw.total("solve") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def lap(self, name: str) -> "_Lap":
+        """Return a context manager that accumulates elapsed time under ``name``."""
+        return _Lap(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the lap named ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never recorded)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of laps recorded under ``name``."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all lap totals."""
+        return dict(self._totals)
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._watch.record(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,79 @@
+"""Input validation helpers shared across the library.
+
+All public entry points validate their inputs eagerly and raise
+``ValueError``/``TypeError`` with actionable messages, rather than letting
+NumPy broadcasting produce silently wrong results deep inside a solver.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "check_labels",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+]
+
+
+def check_matrix(value, name: str = "X", *, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``value`` to a 2-D float array and validate finiteness."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_vector(value, name: str = "v", *, length: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a 1-D float array, optionally of fixed length."""
+    arr = np.asarray(value, dtype=float).ravel()
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_labels(value, name: str = "y", *, length: int | None = None) -> np.ndarray:
+    """Validate a +1/-1 binary label vector."""
+    arr = np.asarray(value, dtype=float).ravel()
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    values = np.unique(arr)
+    if not np.all(np.isin(values, (-1.0, 1.0))):
+        raise ValueError(f"{name} must contain only -1/+1 labels, got values {values}")
+    return arr
+
+
+def check_positive(value, name: str = "value", *, strict: bool = True) -> float:
+    """Validate a (strictly) positive scalar and return it as ``float``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value, name: str = "p") -> float:
+    """Validate a scalar in the closed interval [0, 1]."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Datasets are small and seeded; cluster fixtures give each test an
+isolated network/HDFS pair.  Anything slow (full paper-scale runs)
+lives in ``benchmarks/``, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hdfs import SimulatedHdfs
+from repro.cluster.network import Network
+from repro.data.dataset import Dataset
+from repro.data.scaling import StandardScaler
+from repro.data.splits import train_test_split
+from repro.data.synthetic import make_blobs, make_cancer_like, make_linear_task, make_xor_task
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blobs() -> Dataset:
+    """Well-separated 2-D blobs: 120 points."""
+    return make_blobs(120, 2, delta=4.0, seed=7)
+
+
+@pytest.fixture
+def linear_task() -> Dataset:
+    """Separable 5-feature linear task: 200 points."""
+    return make_linear_task(200, 5, margin=0.5, seed=3)
+
+
+@pytest.fixture
+def xor_task() -> Dataset:
+    """The linearly inseparable XOR task: 240 points."""
+    return make_xor_task(240, noise=0.15, seed=5)
+
+
+@pytest.fixture
+def cancer_split() -> tuple[Dataset, Dataset]:
+    """Standardized 50/50 split of a 240-sample cancer-like set."""
+    dataset = make_cancer_like(240, seed=11)
+    train, test = train_test_split(dataset, 0.5, seed=0)
+    scaler = StandardScaler().fit(train.X)
+    return scaler.transform_dataset(train), scaler.transform_dataset(test)
+
+
+@pytest.fixture
+def network() -> Network:
+    return Network()
+
+
+@pytest.fixture
+def cluster(network: Network) -> tuple[Network, SimulatedHdfs]:
+    """A 4-datanode cluster."""
+    hdfs = SimulatedHdfs(network)
+    for i in range(4):
+        hdfs.add_datanode(f"node{i}")
+    return network, hdfs

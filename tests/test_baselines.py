@@ -1,0 +1,132 @@
+"""Tests for the related-work baseline comparators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.baselines.local_only import LocalOnlySVM
+from repro.baselines.random_kernel import RandomKernelSVM
+from repro.core.partitioning import horizontal_partition
+from repro.data.synthetic import make_blobs
+from repro.svm.model import SVC
+
+
+@pytest.fixture
+def cancer_parts(cancer_split):
+    train, test = cancer_split
+    return horizontal_partition(train, 4, seed=0), train, test
+
+
+class TestLocalOnly:
+    def test_fits_and_scores(self, cancer_parts):
+        parts, _, test = cancer_parts
+        model = LocalOnlySVM(C=50.0).fit(parts)
+        assert 0.5 < model.score(test.X, test.y) <= 1.0
+
+    def test_score_all_covers_learners(self, cancer_parts):
+        parts, _, test = cancer_parts
+        scores = LocalOnlySVM(C=50.0).fit(parts).score_all(test.X, test.y)
+        assert set(scores) == {"learner0", "learner1", "learner2", "learner3", "mean"}
+
+    def test_local_worse_than_pooled_on_scarce_data(self):
+        # With very few samples per learner, local models lag pooled.
+        ds = make_blobs(64, 10, delta=1.8, seed=2)
+        test = make_blobs(400, 10, delta=1.8, seed=3)
+        parts = horizontal_partition(ds, 8, seed=0)
+        local = LocalOnlySVM(C=1.0).fit(parts)
+        pooled = SVC(C=1.0).fit(ds.X, ds.y)
+        assert pooled.score(test.X, test.y) >= local.score_all(test.X, test.y)["mean"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalOnlySVM().predict(np.ones((1, 2)))
+
+    def test_eval_learner_bounds(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        with pytest.raises(ValueError):
+            LocalOnlySVM(eval_learner=10).fit(parts)
+
+
+class TestRandomKernel:
+    def test_accuracy_close_to_plain_svm(self, cancer_parts):
+        parts, train, test = cancer_parts
+        plain = SVC(C=50.0).fit(train.X, train.y)
+        projected = RandomKernelSVM(n_components=6, C=50.0, seed=0).fit(parts)
+        assert projected.score(test.X, test.y) > plain.score(test.X, test.y) - 0.1
+
+    def test_server_never_sees_raw_features(self, cancer_parts):
+        parts, train, _ = cancer_parts
+        model = RandomKernelSVM(n_components=4, C=50.0, seed=0).fit(parts)
+        view = model.published_view(parts)
+        assert view.shape[1] == 4  # fewer dims than the 9 raw features
+        # The projection is not invertible: rank < k.
+        assert np.linalg.matrix_rank(model.projection_) == 4
+
+    def test_default_component_count(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = RandomKernelSVM(C=50.0, seed=0).fit(parts)
+        assert model.projection_.shape == (9, 4)
+
+    def test_too_many_components_rejected(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        with pytest.raises(ValueError):
+            RandomKernelSVM(n_components=20).fit(parts)
+
+    def test_predict_dimension_check(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = RandomKernelSVM(n_components=4, seed=0).fit(parts)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 5)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomKernelSVM().predict(np.ones((1, 2)))
+
+
+class TestDPLogisticRegression:
+    def test_infinite_epsilon_is_noiseless(self, cancer_split):
+        train, test = cancer_split
+        model = DPLogisticRegression(epsilon=np.inf, lam=0.01, seed=0).fit(train.X, train.y)
+        np.testing.assert_array_equal(model.coef_, model.noiseless_coef_)
+        assert model.score(test.X, test.y) > 0.85
+
+    def test_noise_added_for_finite_epsilon(self, cancer_split):
+        train, _ = cancer_split
+        model = DPLogisticRegression(epsilon=1.0, lam=0.01, seed=0).fit(train.X, train.y)
+        assert not np.allclose(model.coef_, model.noiseless_coef_)
+
+    def test_privacy_utility_tradeoff(self, cancer_split):
+        # Averaged over seeds, smaller epsilon => no better accuracy.
+        train, test = cancer_split
+        def mean_acc(eps):
+            return np.mean(
+                [
+                    DPLogisticRegression(epsilon=eps, lam=0.01, seed=s)
+                    .fit(train.X, train.y)
+                    .score(test.X, test.y)
+                    for s in range(5)
+                ]
+            )
+        assert mean_acc(10.0) >= mean_acc(0.01) - 0.05
+
+    def test_noise_scales_with_sensitivity(self, cancer_split):
+        train, _ = cancer_split
+        tight = DPLogisticRegression(epsilon=0.1, lam=0.001, seed=1).fit(train.X, train.y)
+        loose = DPLogisticRegression(epsilon=0.1, lam=1.0, seed=1).fit(train.X, train.y)
+        noise_tight = np.linalg.norm(tight.coef_ - tight.noiseless_coef_)
+        noise_loose = np.linalg.norm(loose.coef_ - loose.noiseless_coef_)
+        assert noise_tight > noise_loose
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            DPLogisticRegression(epsilon=0.0)
+
+    def test_deterministic_given_seed(self, cancer_split):
+        train, _ = cancer_split
+        a = DPLogisticRegression(epsilon=1.0, seed=7).fit(train.X, train.y)
+        b = DPLogisticRegression(epsilon=1.0, seed=7).fit(train.X, train.y)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DPLogisticRegression().predict(np.ones((1, 2)))

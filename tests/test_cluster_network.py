@@ -1,0 +1,205 @@
+"""Unit tests for the simulated network and metric registry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import MetricRegistry
+from repro.cluster.network import LatencyModel, Message, Network, NetworkError
+
+
+class TestMetricRegistry:
+    def test_missing_counter_is_zero(self):
+        assert MetricRegistry().get("nope") == 0.0
+
+    def test_increment_accumulates(self):
+        m = MetricRegistry()
+        m.increment("a", 2)
+        m.increment("a", 3)
+        assert m.get("a") == 5.0
+
+    def test_default_increment_is_one(self):
+        m = MetricRegistry()
+        m.increment("x")
+        assert m.get("x") == 1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="monotonic"):
+            MetricRegistry().increment("a", -1)
+
+    def test_prefix_filter(self):
+        m = MetricRegistry()
+        m.increment("net.bytes", 10)
+        m.increment("net.msgs", 2)
+        m.increment("other", 1)
+        assert set(m.with_prefix("net.")) == {"net.bytes", "net.msgs"}
+
+    def test_reset(self):
+        m = MetricRegistry()
+        m.increment("a", 5)
+        m.reset()
+        assert m.get("a") == 0.0
+
+
+class TestNetworkBasics:
+    def test_send_receive_roundtrip(self, network):
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", {"v": 1})
+        assert network.receive("b") == {"v": 1}
+
+    def test_fifo_order_per_kind(self, network):
+        network.register("a")
+        network.register("b")
+        for i in range(3):
+            network.send("a", "b", i, kind="k")
+        assert [network.receive("b", "k") for _ in range(3)] == [0, 1, 2]
+
+    def test_kinds_are_separate_queues(self, network):
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", "first", kind="x")
+        network.send("a", "b", "second", kind="y")
+        assert network.receive("b", "y") == "second"
+        assert network.receive("b", "x") == "first"
+
+    def test_unknown_sender_rejected(self, network):
+        network.register("b")
+        with pytest.raises(NetworkError, match="unknown node"):
+            network.send("ghost", "b", 1)
+
+    def test_unknown_receiver_rejected(self, network):
+        network.register("a")
+        with pytest.raises(NetworkError, match="unknown node"):
+            network.send("a", "ghost", 1)
+
+    def test_self_send_rejected(self, network):
+        network.register("a")
+        with pytest.raises(NetworkError, match="itself"):
+            network.send("a", "a", 1)
+
+    def test_empty_inbox_raises(self, network):
+        network.register("a")
+        with pytest.raises(NetworkError, match="no pending"):
+            network.receive("a")
+
+    def test_pending_counts(self, network):
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", 1)
+        network.send("a", "b", 2)
+        assert network.pending("b") == 2
+        network.receive("b")
+        assert network.pending("b") == 1
+
+    def test_payload_isolation_deep_copy(self, network):
+        network.register("a")
+        network.register("b")
+        payload = {"arr": np.zeros(3)}
+        network.send("a", "b", payload)
+        payload["arr"][0] = 99.0  # sender mutates after send
+        received = network.receive("b")
+        assert received["arr"][0] == 0.0
+
+    def test_broadcast_excludes_sender(self, network):
+        for n in ("a", "b", "c"):
+            network.register(n)
+        network.broadcast("a", ["a", "b", "c"], "hi", kind="bc")
+        assert network.pending("a", "bc") == 0
+        assert network.pending("b", "bc") == 1
+        assert network.pending("c", "bc") == 1
+
+
+class TestNetworkAccounting:
+    def test_byte_counters_by_kind(self, network):
+        network.register("a")
+        network.register("b")
+        msg = network.send("a", "b", list(range(100)), kind="big")
+        assert msg.size_bytes > 100
+        assert network.bytes_sent("big") == msg.size_bytes
+        assert network.bytes_sent() == msg.size_bytes
+        assert network.bytes_sent("other") == 0.0
+
+    def test_message_counters(self, network):
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", 1, kind="x")
+        network.send("a", "b", 2, kind="x")
+        network.send("a", "b", 3, kind="y")
+        assert network.messages_sent() == 3
+        assert network.messages_sent("x") == 2
+
+    def test_message_log_records_everything(self, network):
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", "secret", kind="k")
+        assert len(network.message_log) == 1
+        logged = network.message_log[0]
+        assert (logged.src, logged.dst, logged.kind, logged.payload) == ("a", "b", "k", "secret")
+
+    def test_keep_log_false_disables_log(self):
+        net = Network(keep_log=False)
+        net.register("a")
+        net.register("b")
+        net.send("a", "b", 1)
+        assert net.message_log == []
+        assert net.bytes_sent() > 0  # accounting still works
+
+    def test_simulated_clock_advances(self, network):
+        network.register("a")
+        network.register("b")
+        before = network.simulated_time_s
+        network.send("a", "b", list(range(1000)))
+        assert network.simulated_time_s > before
+
+    def test_sequence_numbers_monotone(self, network):
+        network.register("a")
+        network.register("b")
+        m1 = network.send("a", "b", 1)
+        m2 = network.send("a", "b", 2)
+        assert m2.seq == m1.seq + 1
+
+
+class TestLatencyModel:
+    def _msg(self, size):
+        return Message(seq=0, src="a", dst="b", kind="k", payload=None, size_bytes=size)
+
+    def test_latency_floor(self):
+        model = LatencyModel(latency_s=1e-3, bandwidth_bytes_per_s=1e9)
+        assert model.transfer_time(self._msg(0)) == pytest.approx(1e-3)
+
+    def test_bandwidth_term(self):
+        model = LatencyModel(latency_s=0.0, bandwidth_bytes_per_s=100.0)
+        assert model.transfer_time(self._msg(200)) == pytest.approx(2.0)
+
+    def test_straggler_multiplier(self):
+        model = LatencyModel(
+            latency_s=1.0,
+            bandwidth_bytes_per_s=1e9,
+            straggler_factor=10.0,
+            stragglers=frozenset({"a"}),
+        )
+        assert model.transfer_time(self._msg(0)) == pytest.approx(10.0)
+
+
+class TestFaultInjection:
+    def test_failed_node_cannot_send(self, network):
+        network.register("a")
+        network.register("b")
+        network.fail_node("a")
+        with pytest.raises(NetworkError, match="failed"):
+            network.send("a", "b", 1)
+
+    def test_failed_node_cannot_receive_new_messages(self, network):
+        network.register("a")
+        network.register("b")
+        network.fail_node("b")
+        with pytest.raises(NetworkError, match="failed"):
+            network.send("a", "b", 1)
+
+    def test_recovery(self, network):
+        network.register("a")
+        network.register("b")
+        network.fail_node("a")
+        network.recover_node("a")
+        network.send("a", "b", 1)
+        assert network.receive("b") == 1

@@ -1,0 +1,99 @@
+"""Tests for consensus logistic regression (the framework extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.core.horizontal_logistic import HorizontalLogisticRegression, LogisticWorker
+from repro.core.partitioning import horizontal_partition
+from repro.data.synthetic import make_blobs
+
+
+@pytest.fixture
+def parts_and_test(cancer_split):
+    train, test = cancer_split
+    return horizontal_partition(train, 4, seed=0), train, test
+
+
+class TestHorizontalLogistic:
+    def test_accuracy_near_centralized_lr(self, parts_and_test):
+        parts, train, test = parts_and_test
+        centralized = DPLogisticRegression(epsilon=np.inf, lam=0.01, seed=0).fit(
+            train.X, train.y
+        )
+        consensus = HorizontalLogisticRegression(lam=1.0, rho=10.0, max_iter=40).fit(parts)
+        assert abs(consensus.score(test.X, test.y) - centralized.score(test.X, test.y)) < 0.05
+
+    def test_z_changes_decay(self, parts_and_test):
+        parts, _, _ = parts_and_test
+        model = HorizontalLogisticRegression(max_iter=40).fit(parts)
+        z = model.history_.z_changes
+        assert z[-1] < z[0] * 1e-2
+
+    def test_local_models_reach_consensus(self, parts_and_test):
+        parts, _, _ = parts_and_test
+        model = HorizontalLogisticRegression(lam=1.0, rho=10.0, max_iter=80).fit(parts)
+        for worker in model.workers_:
+            assert np.linalg.norm(worker.w - model.consensus_weights_) < 0.15
+
+    def test_probabilities_valid(self, parts_and_test):
+        parts, _, test = parts_and_test
+        model = HorizontalLogisticRegression(max_iter=20).fit(parts)
+        proba = model.predict_proba(test.X)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+        preds = model.predict(test.X)
+        np.testing.assert_array_equal(preds, np.where(proba >= 0.5, 1.0, -1.0))
+
+    def test_regularization_shrinks_consensus(self, parts_and_test):
+        parts, _, _ = parts_and_test
+        light = HorizontalLogisticRegression(lam=0.1, rho=10.0, max_iter=40).fit(parts)
+        heavy = HorizontalLogisticRegression(lam=100.0, rho=10.0, max_iter=40).fit(parts)
+        assert np.linalg.norm(heavy.consensus_weights_) < np.linalg.norm(
+            light.consensus_weights_
+        )
+
+    def test_accuracy_series(self, parts_and_test):
+        parts, _, test = parts_and_test
+        model = HorizontalLogisticRegression(max_iter=10).fit(parts, eval_set=test)
+        assert len(model.history_.accuracies) == 10
+        assert model.history_.final_accuracy() > 0.8
+
+    def test_early_stop(self, parts_and_test):
+        parts, _, _ = parts_and_test
+        model = HorizontalLogisticRegression(max_iter=200, tol=1e-6).fit(parts)
+        assert model.history_.n_iterations < 200
+
+    def test_single_partition_rejected(self, parts_and_test):
+        parts, _, _ = parts_and_test
+        with pytest.raises(ValueError, match="at least 2"):
+            HorizontalLogisticRegression().fit(parts[:1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HorizontalLogisticRegression().predict(np.ones((1, 2)))
+
+
+class TestLogisticWorker:
+    def test_step_output_contract_matches_svm_workers(self):
+        # The worker emits the same summand keys as the SVM workers, so
+        # the same reducer / secure aggregator applies.
+        ds = make_blobs(60, 3, seed=0)
+        worker = LogisticWorker(ds.X, ds.y, rho=10.0)
+        out = worker.step(np.zeros(3), 0.0)
+        assert set(out) == {"z_contrib", "s_contrib"}
+
+    def test_newton_solves_local_problem(self):
+        # With a strong pull (rho large), the local solution approaches
+        # the target.
+        ds = make_blobs(60, 3, seed=1)
+        worker = LogisticWorker(ds.X, ds.y, rho=1e6)
+        target = np.array([0.5, -0.25, 1.0])
+        worker.step(target, 0.3)
+        np.testing.assert_allclose(worker.w, target, atol=1e-3)
+        assert worker.b == pytest.approx(0.3, abs=1e-3)
+
+    def test_wrong_consensus_length(self):
+        ds = make_blobs(20, 3, seed=2)
+        worker = LogisticWorker(ds.X, ds.y)
+        with pytest.raises(ValueError, match="length"):
+            worker.step(np.zeros(5), 0.0)

@@ -1,0 +1,122 @@
+"""Unit tests for horizontal/vertical partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import horizontal_partition, vertical_partition
+from repro.data.synthetic import make_blobs
+
+
+class TestHorizontalPartition:
+    def test_covers_all_rows(self):
+        ds = make_blobs(100, 3, seed=0)
+        parts = horizontal_partition(ds, 4, seed=0)
+        assert sum(p.n_samples for p in parts) == 100
+
+    def test_balanced_sizes(self):
+        ds = make_blobs(101, 3, seed=0)
+        parts = horizontal_partition(ds, 4, seed=0)
+        sizes = [p.n_samples for p in parts]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_every_learner_has_both_classes(self):
+        ds = make_blobs(60, 2, balance=0.2, seed=1)
+        parts = horizontal_partition(ds, 4, seed=1)
+        for p in parts:
+            assert set(np.unique(p.y)) == {-1.0, 1.0}
+
+    def test_feature_dimension_preserved(self):
+        ds = make_blobs(80, 7, seed=2)
+        for p in horizontal_partition(ds, 4, seed=0):
+            assert p.n_features == 7
+
+    def test_rows_not_duplicated(self):
+        ds = make_blobs(50, 2, seed=3)
+        parts = horizontal_partition(ds, 2, seed=0)
+        stacked = np.vstack([p.X for p in parts])
+        unique_rows = np.unique(stacked, axis=0)
+        assert unique_rows.shape[0] == 50
+
+    def test_unbalanced_mode_runs(self):
+        ds = make_blobs(400, 2, seed=4)
+        parts = horizontal_partition(ds, 4, seed=0, balanced=False)
+        assert sum(p.n_samples for p in parts) == 400
+
+    def test_deterministic(self):
+        ds = make_blobs(60, 2, seed=5)
+        a = horizontal_partition(ds, 3, seed=42)
+        b = horizontal_partition(ds, 3, seed=42)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.X, pb.X)
+
+    def test_names_annotated(self):
+        ds = make_blobs(40, 2, seed=0)
+        parts = horizontal_partition(ds, 2, seed=0)
+        assert parts[0].name.endswith("/learner0")
+        assert parts[1].name.endswith("/learner1")
+
+    def test_too_few_learners(self):
+        ds = make_blobs(40, 2, seed=0)
+        with pytest.raises(ValueError):
+            horizontal_partition(ds, 1)
+
+    def test_too_small_dataset(self):
+        ds = make_blobs(6, 2, seed=0)
+        with pytest.raises(ValueError):
+            horizontal_partition(ds, 4)
+
+
+class TestVerticalPartition:
+    def test_features_partitioned_exactly(self):
+        ds = make_blobs(50, 10, seed=0)
+        part = vertical_partition(ds, 3, seed=0)
+        all_features = np.concatenate(part.features)
+        assert sorted(all_features.tolist()) == list(range(10))
+
+    def test_every_learner_nonempty(self):
+        ds = make_blobs(40, 5, seed=1)
+        part = vertical_partition(ds, 5, seed=0)
+        assert all(f.size >= 1 for f in part.features)
+
+    def test_blocks_match_feature_indices(self):
+        ds = make_blobs(30, 6, seed=2)
+        part = vertical_partition(ds, 2, seed=0)
+        for features, block in zip(part.features, part.blocks):
+            np.testing.assert_array_equal(block, ds.X[:, features])
+
+    def test_labels_shared(self):
+        ds = make_blobs(30, 6, seed=3)
+        part = vertical_partition(ds, 2, seed=0)
+        np.testing.assert_array_equal(part.y, ds.y)
+
+    def test_split_features_roundtrip(self):
+        ds = make_blobs(30, 8, seed=4)
+        part = vertical_partition(ds, 3, seed=0)
+        test_X = np.arange(16.0).reshape(2, 8)
+        blocks = part.split_features(test_X)
+        for features, block in zip(part.features, blocks):
+            np.testing.assert_array_equal(block, test_X[:, features])
+
+    def test_split_features_wrong_width(self):
+        ds = make_blobs(30, 8, seed=4)
+        part = vertical_partition(ds, 3, seed=0)
+        with pytest.raises(ValueError, match="columns"):
+            part.split_features(np.zeros((2, 5)))
+
+    def test_properties(self):
+        ds = make_blobs(30, 8, seed=5)
+        part = vertical_partition(ds, 4, seed=0)
+        assert part.n_learners == 4
+        assert part.n_samples == 30
+
+    def test_more_learners_than_features(self):
+        ds = make_blobs(30, 3, seed=0)
+        with pytest.raises(ValueError, match="too few"):
+            vertical_partition(ds, 4)
+
+    def test_deterministic(self):
+        ds = make_blobs(30, 9, seed=6)
+        a = vertical_partition(ds, 3, seed=7)
+        b = vertical_partition(ds, 3, seed=7)
+        for fa, fb in zip(a.features, b.features):
+            np.testing.assert_array_equal(fa, fb)

@@ -1,0 +1,186 @@
+"""Tests for the full MapReduce-integrated PrivacyPreservingSVM.
+
+The central claims: (1) the distributed secure run computes the *same*
+numbers as the in-process trainer (up to fixed-point rounding);
+(2) raw training data never crosses the network; (3) the Reducer's wire
+view contains only masked shares.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.partitioning import horizontal_partition, vertical_partition
+from repro.core.trainer import PrivacyPreservingSVM
+from repro.core.vertical_linear import VerticalLinearSVM
+from repro.svm.kernels import RBFKernel
+
+
+@pytest.fixture
+def cancer_parts(cancer_split):
+    train, test = cancer_split
+    return horizontal_partition(train, 4, seed=0), train, test
+
+
+class TestHorizontalTrainer:
+    def test_matches_in_process_reference(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        reference = HorizontalLinearSVM(C=50.0, rho=100.0, max_iter=25).fit(parts)
+        distributed = PrivacyPreservingSVM(
+            "horizontal", C=50.0, rho=100.0, max_iter=25, seed=0
+        ).fit(parts)
+        np.testing.assert_allclose(
+            distributed._reducer.z, reference.consensus_weights_, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            distributed.history_.z_changes, reference.history_.z_changes, atol=1e-6
+        )
+
+    def test_accuracy_reasonable(self, cancer_parts):
+        parts, _, test = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=40, seed=0).fit(parts)
+        assert model.score(test.X, test.y) > 0.88
+
+    def test_plaintext_and_secure_agree(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        secure = PrivacyPreservingSVM("horizontal", max_iter=15, secure=True, seed=0).fit(parts)
+        plain = PrivacyPreservingSVM("horizontal", max_iter=15, secure=False, seed=0).fit(parts)
+        np.testing.assert_allclose(secure._reducer.z, plain._reducer.z, atol=1e-7)
+
+    def test_prg_mode_agrees_with_fresh(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        fresh = PrivacyPreservingSVM(
+            "horizontal", max_iter=10, mask_mode="fresh", seed=0
+        ).fit(parts)
+        prg = PrivacyPreservingSVM("horizontal", max_iter=10, mask_mode="prg", seed=0).fit(parts)
+        np.testing.assert_allclose(fresh._reducer.z, prg._reducer.z, atol=1e-7)
+
+    def test_kernel_variant_runs(self, cancer_parts):
+        parts, _, test = cancer_parts
+        model = PrivacyPreservingSVM(
+            "horizontal",
+            kernel=RBFKernel(gamma=0.1),
+            n_landmarks=10,
+            max_iter=15,
+            seed=0,
+        ).fit(parts)
+        assert model.score(test.X, test.y) > 0.8
+
+    def test_wrong_input_type(self, cancer_split):
+        train, _ = cancer_split
+        partition = vertical_partition(train, 3, seed=0)
+        with pytest.raises(TypeError, match="list of Dataset"):
+            PrivacyPreservingSVM("horizontal").fit(partition)
+
+
+class TestVerticalTrainer:
+    def test_matches_in_process_reference(self, cancer_split):
+        train, _ = cancer_split
+        partition = vertical_partition(train, 3, seed=0)
+        reference = VerticalLinearSVM(C=50.0, rho=100.0, max_iter=30).fit(partition)
+        distributed = PrivacyPreservingSVM(
+            "vertical", C=50.0, rho=100.0, max_iter=30, seed=0
+        ).fit(partition)
+        np.testing.assert_allclose(
+            distributed.history_.z_changes, reference.history_.z_changes, atol=1e-4
+        )
+        np.testing.assert_allclose(
+            distributed._reducer.logic.zbar, reference.reducer_.zbar, atol=1e-7
+        )
+
+    def test_prediction_path(self, cancer_split):
+        train, test = cancer_split
+        partition = vertical_partition(train, 3, seed=0)
+        model = PrivacyPreservingSVM("vertical", max_iter=60, seed=0).fit(partition)
+        assert model.score(test.X, test.y) > 0.85
+
+    def test_kernel_vertical(self, cancer_split):
+        train, test = cancer_split
+        partition = vertical_partition(train, 3, seed=0)
+        model = PrivacyPreservingSVM(
+            "vertical", kernel=RBFKernel(gamma=0.1), max_iter=40, seed=0
+        ).fit(partition)
+        assert model.score(test.X, test.y) > 0.8
+
+    def test_wrong_input_type(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        with pytest.raises(TypeError, match="VerticalPartition"):
+            PrivacyPreservingSVM("vertical").fit(parts)
+
+
+class TestPrivacyInvariants:
+    def test_raw_data_never_moves(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=10, seed=0).fit(parts)
+        assert model.raw_data_bytes_moved() == 0.0
+
+    def test_reducer_inbox_is_masked_shares_only(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=5, seed=0).fit(parts)
+        to_reducer = [m for m in model.network_.message_log if m.dst == "reducer"]
+        assert to_reducer
+        assert all(m.kind == "masked-share" for m in to_reducer)
+
+    def test_plaintext_mode_leaks_by_design(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=5, secure=False, seed=0).fit(parts)
+        kinds = {m.kind for m in model.network_.message_log if m.dst == "reducer"}
+        assert "consensus" in kinds
+
+    def test_tasks_all_data_local(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=5, seed=0).fit(parts)
+        metrics = model.network_.metrics
+        assert metrics.get("scheduler.local_tasks") == 4.0
+        assert metrics.get("scheduler.remote_tasks") == 0.0
+
+
+class TestAccounting:
+    def test_communication_summary_keys(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=8, seed=0).fit(parts)
+        summary = model.communication_summary()
+        assert summary["iterations"] == 8.0
+        assert summary["total_bytes"] > 0
+        assert summary["mask_bytes"] > 0
+        assert summary["masked_share_bytes"] > 0
+        assert summary["plaintext_consensus_bytes"] == 0.0
+        assert summary["secure_sum_rounds"] == 8.0
+
+    def test_secure_costs_more_than_plaintext(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        secure = PrivacyPreservingSVM("horizontal", max_iter=10, seed=0).fit(parts)
+        plain = PrivacyPreservingSVM("horizontal", max_iter=10, secure=False, seed=0).fit(parts)
+        assert (
+            secure.communication_summary()["total_bytes"]
+            > plain.communication_summary()["total_bytes"]
+        )
+
+    def test_prg_mode_cheaper_than_fresh(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        fresh = PrivacyPreservingSVM("horizontal", max_iter=10, mask_mode="fresh", seed=0).fit(
+            parts
+        )
+        prg = PrivacyPreservingSVM("horizontal", max_iter=10, mask_mode="prg", seed=0).fit(parts)
+        assert (
+            prg.communication_summary()["total_bytes"]
+            < fresh.communication_summary()["total_bytes"]
+        )
+
+    def test_unfitted_accessors_raise(self):
+        model = PrivacyPreservingSVM("horizontal")
+        with pytest.raises(RuntimeError):
+            model.communication_summary()
+        with pytest.raises(RuntimeError):
+            model.decision_function(np.ones((1, 2)))
+
+
+class TestValidation:
+    def test_bad_partitioning_string(self):
+        with pytest.raises(ValueError, match="horizontal"):
+            PrivacyPreservingSVM("diagonal")
+
+    def test_early_stopping_tol(self, cancer_parts):
+        parts, _, _ = cancer_parts
+        model = PrivacyPreservingSVM("horizontal", max_iter=100, tol=1e-2, seed=0).fit(parts)
+        assert len(model.history_) < 100

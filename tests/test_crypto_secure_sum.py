@@ -1,0 +1,167 @@
+"""Tests for the paper's coalition-resistant secure summation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import Network
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.secure_sum import SecureSumAggregator, SecureSummationProtocol
+
+
+def make_protocol(n=4, mode="fresh", seed=0):
+    network = Network()
+    participants = [f"m{i}" for i in range(n)]
+    protocol = SecureSummationProtocol(network, participants, "red", mode=mode, seed=seed)
+    return network, participants, protocol
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", ["fresh", "prg"])
+    def test_sum_is_exact_up_to_fixed_point(self, mode, rng):
+        network, participants, protocol = make_protocol(mode=mode)
+        values = {p: rng.normal(size=6) for p in participants}
+        result = protocol.sum_vectors(values)
+        np.testing.assert_allclose(result, sum(values.values()), atol=1e-9)
+
+    def test_repeated_rounds(self, rng):
+        _, participants, protocol = make_protocol()
+        for _ in range(5):
+            values = {p: rng.normal(size=3) for p in participants}
+            result = protocol.sum_vectors(values)
+            np.testing.assert_allclose(result, sum(values.values()), atol=1e-9)
+
+    def test_two_participants_minimum(self, rng):
+        _, participants, protocol = make_protocol(n=2)
+        values = {p: rng.normal(size=4) for p in participants}
+        np.testing.assert_allclose(
+            protocol.sum_vectors(values), sum(values.values()), atol=1e-9
+        )
+
+    def test_negative_and_large_values(self):
+        _, participants, protocol = make_protocol()
+        values = {p: np.array([-1e6, 1e6, -0.001]) for p in participants}
+        np.testing.assert_allclose(
+            protocol.sum_vectors(values), 4 * values["m0"], atol=1e-6
+        )
+
+
+class TestProtocolShape:
+    def test_fresh_mode_mask_traffic(self):
+        network, participants, protocol = make_protocol(n=4)
+        values = {p: np.ones(2) for p in participants}
+        protocol.sum_vectors(values)
+        # M(M-1) mask messages + M shares.
+        assert network.messages_sent("mask") == 12
+        assert network.messages_sent("masked-share") == 4
+
+    def test_prg_mode_no_mask_traffic_after_setup(self):
+        network, participants, protocol = make_protocol(n=4, mode="prg")
+        seed_msgs = network.messages_sent("mask-seed")
+        assert seed_msgs == 6  # C(4,2) one-time seed exchanges
+        for _ in range(3):
+            protocol.sum_vectors({p: np.ones(2) for p in participants})
+        assert network.messages_sent("mask") == 0
+        assert network.messages_sent("mask-seed") == seed_msgs
+
+    def test_reducer_sees_only_shares(self):
+        network, participants, protocol = make_protocol()
+        protocol.sum_vectors({p: np.ones(2) for p in participants})
+        to_reducer = [m for m in network.message_log if m.dst == "red"]
+        assert all(m.kind == "masked-share" for m in to_reducer)
+
+    def test_crypto_counters(self):
+        network, participants, protocol = make_protocol(n=3)
+        protocol.sum_vectors({p: np.ones(2) for p in participants})
+        assert network.metrics.get("crypto.masks_generated") == 6
+        assert network.metrics.get("crypto.masked_shares_sent") == 3
+        assert network.metrics.get("crypto.secure_sum_rounds") == 1
+
+
+class TestMaskingHidesValues:
+    def test_shares_decode_to_garbage(self):
+        network, participants, protocol = make_protocol()
+        secret = {p: np.full(3, 7.0) for p in participants}
+        protocol.sum_vectors(secret)
+        codec = protocol.codec
+        for message in network.message_log:
+            if message.kind == "masked-share":
+                decoded = codec.decode([int(v) for v in message.payload])
+                # A masked share should decode to astronomically large
+                # junk, never to anything near the true value 7.
+                assert np.all(np.abs(decoded - 7.0) > 1e6)
+
+    def test_same_input_different_shares_across_rounds(self):
+        network, participants, protocol = make_protocol()
+        values = {p: np.ones(2) for p in participants}
+        protocol.sum_vectors(values)
+        protocol.sum_vectors(values)
+        shares = [m.payload for m in network.message_log if m.kind == "masked-share"]
+        assert shares[0] != shares[4]  # fresh masks each round
+
+
+class TestValidation:
+    def test_needs_two_participants(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            SecureSummationProtocol(Network(), ["only"], "red")
+
+    def test_duplicate_participants(self):
+        with pytest.raises(ValueError, match="unique"):
+            SecureSummationProtocol(Network(), ["a", "a"], "red")
+
+    def test_reducer_cannot_participate(self):
+        with pytest.raises(ValueError, match="reducer"):
+            SecureSummationProtocol(Network(), ["a", "red"], "red")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SecureSummationProtocol(Network(), ["a", "b"], "red", mode="magic")
+
+    def test_wrong_participant_set(self):
+        _, participants, protocol = make_protocol()
+        with pytest.raises(ValueError, match="cover exactly"):
+            protocol.sum_vectors({"m0": np.ones(2)})
+
+    def test_mismatched_lengths(self):
+        _, participants, protocol = make_protocol(n=2)
+        with pytest.raises(ValueError, match="length"):
+            protocol.sum_vectors({"m0": np.ones(2), "m1": np.ones(3)})
+
+
+class TestAggregator:
+    def test_sums_named_outputs(self, rng):
+        network = Network()
+        network.register("red")
+        outputs = {
+            f"m{i}": {"w": rng.normal(size=4), "b": np.array([float(i)])} for i in range(3)
+        }
+        for node in outputs:
+            network.register(node)
+        aggregator = SecureSumAggregator(seed=0)
+        sums = aggregator.aggregate(outputs, "red", network)
+        np.testing.assert_allclose(
+            sums["w"], sum(o["w"] for o in outputs.values()), atol=1e-9
+        )
+        assert sums["b"][0] == pytest.approx(3.0, abs=1e-9)
+
+    def test_preserves_shapes(self, rng):
+        network = Network()
+        outputs = {f"m{i}": {"mat": rng.normal(size=(2, 3))} for i in range(2)}
+        aggregator = SecureSumAggregator(seed=0)
+        sums = aggregator.aggregate(outputs, "red", network)
+        assert sums["mat"].shape == (2, 3)
+
+    def test_rejects_inconsistent_keys(self, rng):
+        network = Network()
+        outputs = {"m0": {"a": np.ones(2)}, "m1": {"b": np.ones(2)}}
+        aggregator = SecureSumAggregator(seed=0)
+        with pytest.raises(ValueError, match="keys"):
+            aggregator.aggregate(outputs, "red", network)
+
+    def test_custom_codec_used(self, rng):
+        network = Network()
+        codec = FixedPointCodec(fractional_bits=20, max_terms=8)
+        outputs = {f"m{i}": {"v": rng.normal(size=3)} for i in range(2)}
+        aggregator = SecureSumAggregator(codec=codec, seed=0)
+        sums = aggregator.aggregate(outputs, "red", network)
+        expected = sum(o["v"] for o in outputs.values())
+        np.testing.assert_allclose(sums["v"], expected, atol=2 * 2.0**-20)

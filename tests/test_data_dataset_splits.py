@@ -1,0 +1,148 @@
+"""Unit tests for repro.data.dataset, splits, and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.scaling import StandardScaler
+from repro.data.splits import kfold_indices, train_test_split
+from repro.data.synthetic import make_blobs
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]], [1, -1], "toy")
+        assert ds.n_samples == 2
+        assert ds.n_features == 2
+        assert ds.name == "toy"
+        assert len(ds) == 2
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset([[1.0], [2.0]], [1])
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            Dataset([[1.0]], [0])
+
+    def test_subset_rows(self):
+        ds = make_blobs(20, 3, seed=0)
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert sub.n_samples == 3
+        np.testing.assert_array_equal(sub.X[1], ds.X[5])
+        assert sub.y[2] == ds.y[7]
+
+    def test_subset_rename(self):
+        ds = make_blobs(10, 2, seed=0)
+        assert ds.subset([0, 1], "renamed").name == "renamed"
+
+    def test_feature_subset(self):
+        ds = make_blobs(10, 4, seed=0)
+        sub = ds.feature_subset(np.array([1, 3]))
+        assert sub.n_features == 2
+        np.testing.assert_array_equal(sub.X[:, 0], ds.X[:, 1])
+
+    def test_class_balance(self):
+        ds = Dataset([[0.0], [0.0], [0.0], [0.0]], [1, 1, 1, -1])
+        assert ds.class_balance() == pytest.approx(0.75)
+
+    def test_immutability(self):
+        ds = make_blobs(10, 2, seed=0)
+        with pytest.raises(AttributeError):
+            ds.name = "other"
+
+
+class TestTrainTestSplit:
+    def test_covers_all_samples(self):
+        ds = make_blobs(101, 2, seed=1)
+        train, test = train_test_split(ds, 0.5, seed=0)
+        assert train.n_samples + test.n_samples == 101
+
+    def test_default_is_half(self):
+        ds = make_blobs(100, 2, seed=1)
+        train, test = train_test_split(ds, seed=0)
+        assert abs(train.n_samples - 50) <= 1
+
+    def test_stratified_preserves_balance(self):
+        ds = make_blobs(200, 2, balance=0.3, seed=2)
+        train, test = train_test_split(ds, 0.5, seed=0)
+        assert abs(train.class_balance() - 0.3) < 0.05
+        assert abs(test.class_balance() - 0.3) < 0.05
+
+    def test_unstratified_mode(self):
+        ds = make_blobs(100, 2, seed=2)
+        train, test = train_test_split(ds, 0.3, stratify=False, seed=0)
+        assert test.n_samples == 30
+
+    def test_deterministic_with_seed(self):
+        ds = make_blobs(60, 2, seed=3)
+        a_train, _ = train_test_split(ds, seed=9)
+        b_train, _ = train_test_split(ds, seed=9)
+        np.testing.assert_array_equal(a_train.X, b_train.X)
+
+    def test_rejects_degenerate_fraction(self):
+        ds = make_blobs(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, 1.0)
+
+    def test_names_annotated(self):
+        ds = make_blobs(40, 2, seed=0)
+        train, test = train_test_split(ds, seed=0)
+        assert train.name.endswith("/train")
+        assert test.name.endswith("/test")
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = kfold_indices(25, 4, seed=0)
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(25))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(20, 5, seed=1):
+            assert not set(train) & set(test)
+
+    def test_rejects_too_few_folds(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1)
+
+    def test_rejects_more_folds_than_samples(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, 4)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Xs = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Xs.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Xs.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        np.testing.assert_allclose(Xs[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 2)))
+
+    def test_transform_dataset_keeps_labels(self):
+        ds = make_blobs(30, 3, seed=0)
+        out = StandardScaler().fit(ds.X).transform_dataset(ds)
+        np.testing.assert_array_equal(out.y, ds.y)
+        assert out.name == ds.name
+
+    def test_test_data_uses_train_statistics(self, rng):
+        train = rng.normal(0.0, 1.0, size=(100, 2))
+        test = rng.normal(10.0, 1.0, size=(50, 2))
+        scaler = StandardScaler().fit(train)
+        assert scaler.transform(test).mean() > 5.0

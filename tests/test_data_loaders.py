@@ -1,0 +1,133 @@
+"""Tests for the CSV / LIBSVM dataset loaders and writers."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loaders import load_csv, load_libsvm, save_csv, save_libsvm
+from repro.data.synthetic import make_blobs
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_label_last(self, tmp_path):
+        ds = make_blobs(30, 4, seed=0)
+        path = tmp_path / "data.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(loaded.X, ds.X, rtol=1e-9)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+
+    def test_roundtrip_label_first(self, tmp_path):
+        # HIGGS puts the label in column 0.
+        ds = make_blobs(20, 3, seed=1)
+        path = tmp_path / "higgs_style.csv"
+        save_csv(ds, path, label_column=0)
+        loaded = load_csv(path, label_column=0)
+        np.testing.assert_allclose(loaded.X, ds.X, rtol=1e-9)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+
+    def test_label_normalization_zero_one(self, tmp_path):
+        path = tmp_path / "zo.csv"
+        path.write_text("1.0,2.0,0\n3.0,4.0,1\n")
+        loaded = load_csv(path)
+        assert set(loaded.y) == {-1.0, 1.0}
+        assert loaded.y[0] == -1.0  # smaller raw label -> -1
+
+    def test_skip_header(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b,label\n1.0,2.0,1\n3.0,4.0,-1\n")
+        loaded = load_csv(path, skip_header=1)
+        assert loaded.n_samples == 2
+
+    def test_three_label_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,0\n2,1\n3,2\n")
+        with pytest.raises(ValueError, match="2 label values"):
+            load_csv(path)
+
+    def test_missing_values_rejected(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("1.0,,1\n2.0,3.0,-1\n")
+        with pytest.raises(ValueError, match="missing"):
+            load_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        ds = make_blobs(10, 2, seed=0)
+        path = tmp_path / "mydata.csv"
+        save_csv(ds, path)
+        assert load_csv(path).name == "mydata"
+
+
+class TestLibsvmRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        ds = make_blobs(25, 5, seed=2)
+        path = tmp_path / "data.libsvm"
+        save_libsvm(ds, path)
+        loaded = load_libsvm(path, n_features=5)
+        np.testing.assert_allclose(loaded.X, ds.X, rtol=1e-9)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+
+    def test_sparse_zeros_omitted_and_recovered(self, tmp_path):
+        X = np.array([[1.0, 0.0, 3.0], [0.0, 2.0, 0.0]])
+        ds = Dataset(X, [1, -1], "sparse")
+        path = tmp_path / "s.libsvm"
+        save_libsvm(ds, path)
+        text = path.read_text()
+        assert "2:" not in text.splitlines()[0]  # zero omitted
+        loaded = load_libsvm(path, n_features=3)
+        np.testing.assert_array_equal(loaded.X, X)
+
+    def test_width_inferred_from_max_index(self, tmp_path):
+        path = tmp_path / "w.libsvm"
+        path.write_text("+1 1:1.5 4:2.5\n-1 2:1.0\n")
+        loaded = load_libsvm(path)
+        assert loaded.n_features == 4
+        assert loaded.X[0, 3] == 2.5
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.libsvm"
+        path.write_text("# header\n\n+1 1:1.0  # trailing\n-1 1:-1.0\n")
+        loaded = load_libsvm(path)
+        assert loaded.n_samples == 2
+
+    def test_bad_label(self, tmp_path):
+        path = tmp_path / "bl.libsvm"
+        path.write_text("abc 1:1.0\n")
+        with pytest.raises(ValueError, match="bad label"):
+            load_libsvm(path)
+
+    def test_bad_token(self, tmp_path):
+        path = tmp_path / "bt.libsvm"
+        path.write_text("+1 1:x\n-1 1:2\n")
+        with pytest.raises(ValueError, match="bad feature token"):
+            load_libsvm(path)
+
+    def test_zero_based_index_rejected(self, tmp_path):
+        path = tmp_path / "zb.libsvm"
+        path.write_text("+1 0:1.0\n-1 1:2.0\n")
+        with pytest.raises(ValueError, match="1-based"):
+            load_libsvm(path)
+
+    def test_n_features_too_small(self, tmp_path):
+        path = tmp_path / "ns.libsvm"
+        path.write_text("+1 5:1.0\n-1 1:1.0\n")
+        with pytest.raises(ValueError, match="smaller than max index"):
+            load_libsvm(path, n_features=3)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.libsvm"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no samples"):
+            load_libsvm(path)
+
+
+class TestLoadersFeedTrainers:
+    def test_loaded_dataset_trains(self, tmp_path):
+        from repro.svm.model import LinearSVC
+
+        ds = make_blobs(60, 3, delta=4.0, seed=3)
+        path = tmp_path / "train.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        model = LinearSVC(C=10.0).fit(loaded.X, loaded.y)
+        assert model.score(loaded.X, loaded.y) > 0.95

@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset generators, including their
+paper-calibration targets (shape and achievable accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import train_test_split
+from repro.data.scaling import StandardScaler
+from repro.data.synthetic import (
+    make_blobs,
+    make_cancer_like,
+    make_higgs_like,
+    make_linear_task,
+    make_ocr_like,
+    make_xor_task,
+)
+from repro.svm.model import LinearSVC
+
+
+class TestShapes:
+    def test_cancer_shape(self):
+        ds = make_cancer_like()
+        assert ds.X.shape == (569, 9)
+        assert ds.name == "cancer"
+
+    def test_higgs_shape(self):
+        ds = make_higgs_like(500)
+        assert ds.X.shape == (500, 28)
+        assert ds.name == "higgs"
+
+    def test_ocr_shape(self):
+        ds = make_ocr_like(400)
+        assert ds.X.shape == (400, 64)
+        assert ds.name == "ocr"
+
+    def test_higgs_default_matches_paper_subset(self):
+        # The paper uses 11,000 of the 11M HIGGS rows.
+        ds = make_higgs_like()
+        assert ds.n_samples == 11_000
+
+    def test_ocr_default_matches_paper(self):
+        assert make_ocr_like().n_samples == 5_620
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("maker", [make_cancer_like, make_higgs_like, make_ocr_like])
+    def test_seeded_generators_reproduce(self, maker):
+        a = maker(200, seed=5)
+        b = maker(200, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_cancer_like(100, seed=1)
+        b = make_cancer_like(100, seed=2)
+        assert not np.array_equal(a.X, b.X)
+
+
+class TestDifficultyCalibration:
+    """The generators must land in the paper's accuracy regimes."""
+
+    @staticmethod
+    def _centralized_accuracy(dataset, C=50.0):
+        train, test = train_test_split(dataset, 0.5, seed=0)
+        scaler = StandardScaler().fit(train.X)
+        model = LinearSVC(C=C).fit(scaler.transform(train.X), train.y)
+        return model.score(scaler.transform(test.X), test.y)
+
+    def test_cancer_is_easy(self):
+        acc = self._centralized_accuracy(make_cancer_like(seed=0))
+        assert 0.90 <= acc <= 0.99  # paper: ~95%
+
+    def test_higgs_is_hard(self):
+        acc = self._centralized_accuracy(make_higgs_like(2000, seed=0))
+        assert 0.60 <= acc <= 0.78  # paper: ~70%
+
+    def test_ocr_is_very_easy(self):
+        acc = self._centralized_accuracy(make_ocr_like(1200, seed=0))
+        assert acc >= 0.95  # paper: ~98%
+
+    def test_difficulty_ordering(self):
+        cancer = self._centralized_accuracy(make_cancer_like(seed=1))
+        higgs = self._centralized_accuracy(make_higgs_like(2000, seed=1))
+        ocr = self._centralized_accuracy(make_ocr_like(1200, seed=1))
+        assert higgs < cancer <= ocr + 0.02
+
+
+class TestOcrCorrelationStructure:
+    def test_features_are_highly_correlated(self):
+        ds = make_ocr_like(800, seed=0)
+        corr = np.corrcoef(ds.X.T)
+        off_diag = np.abs(corr[~np.eye(64, dtype=bool)])
+        # The paper picked OCR for strongly correlated features.
+        assert np.mean(off_diag) > 0.15
+
+    def test_more_correlated_than_cancer(self):
+        ocr = make_ocr_like(800, seed=0)
+        cancer = make_cancer_like(569, seed=0)
+        mean_abs = lambda ds: np.mean(
+            np.abs(np.corrcoef(ds.X.T)[~np.eye(ds.n_features, dtype=bool)])
+        )
+        assert mean_abs(ocr) > mean_abs(cancer)
+
+
+class TestHelpers:
+    def test_linear_task_is_separable(self):
+        ds = make_linear_task(150, 4, margin=0.5, seed=0)
+        model = LinearSVC(C=1000.0).fit(ds.X, ds.y)
+        assert model.score(ds.X, ds.y) == 1.0
+
+    def test_linear_task_noise_flips_labels(self):
+        clean = make_linear_task(300, 4, noise=0.0, seed=2)
+        noisy = make_linear_task(300, 4, noise=0.2, seed=2)
+        assert np.mean(clean.y != noisy.y) == pytest.approx(0.2, abs=0.07)
+
+    def test_xor_not_linearly_separable(self):
+        ds = make_xor_task(400, seed=0)
+        model = LinearSVC(C=50.0).fit(ds.X, ds.y)
+        assert model.score(ds.X, ds.y) < 0.8
+
+    def test_blobs_balance(self):
+        ds = make_blobs(200, 2, balance=0.25, seed=0)
+        assert ds.class_balance() == pytest.approx(0.25, abs=0.01)
+
+    def test_blobs_separation_scales_with_delta(self):
+        near = make_blobs(400, 3, delta=0.5, seed=0)
+        far = make_blobs(400, 3, delta=6.0, seed=0)
+        acc_near = LinearSVC(C=1.0).fit(near.X, near.y).score(near.X, near.y)
+        acc_far = LinearSVC(C=1.0).fit(far.X, far.y).score(far.X, far.y)
+        assert acc_far > acc_near

@@ -1,0 +1,153 @@
+"""Tests for the experiment harness (tiny workloads — just correctness
+of plumbing and the qualitative shapes; full runs live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import c_sweep, landmark_sweep, rho_sweep
+from repro.experiments.config import ExperimentConfig, PAPER_SIZES, QUICK_SIZES
+from repro.experiments.datasets import load_benchmark_datasets
+from repro.experiments.figure4 import PANELS, format_panel, run_panel, run_variant
+from repro.experiments.tables import (
+    baseline_comparison_table,
+    centralized_baseline_table,
+    crypto_overhead_table,
+    format_table,
+    scalability_table,
+)
+
+TINY = ExperimentConfig(max_iter=8, sizes={"cancer": 160, "higgs": 160, "ocr": 160})
+CANCER_ONLY = ExperimentConfig(max_iter=8, sizes={"cancer": 160})
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_learners == 4
+        assert cfg.C == 50.0
+        assert cfg.rho == 100.0
+        assert cfg.max_iter == 100
+
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == {"cancer": 569, "higgs": 11_000, "ocr": 5_620}
+
+    def test_with_sizes_copies(self):
+        cfg = ExperimentConfig().with_sizes({"cancer": 100})
+        assert cfg.sizes == {"cancer": 100}
+        assert ExperimentConfig().sizes == QUICK_SIZES
+
+
+class TestLoadDatasets:
+    def test_returns_half_splits(self):
+        data = load_benchmark_datasets({"cancer": 200}, seed=0)
+        train, test = data["cancer"]
+        assert abs(train.n_samples - 100) <= 1
+        assert abs(test.n_samples - 100) <= 1
+
+    def test_standardized_on_train(self):
+        data = load_benchmark_datasets({"higgs": 300}, seed=0)
+        train, _ = data["higgs"]
+        np.testing.assert_allclose(train.X.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_benchmark_datasets({"mnist": 100})
+
+
+class TestFigure4:
+    def test_panel_map_complete(self):
+        assert set(PANELS) == set("abcdefgh")
+
+    @pytest.mark.parametrize("scheme", [
+        "horizontal-linear", "vertical-linear",
+    ])
+    def test_run_variant_history_lengths(self, scheme):
+        data = load_benchmark_datasets({"cancer": 160}, seed=0)
+        train, test = data["cancer"]
+        history = run_variant(scheme, train, test, TINY)
+        assert history.n_iterations == TINY.max_iter
+        assert np.all(np.isfinite(history.z_changes))
+        assert np.all(np.isfinite(history.accuracies))
+
+    def test_unknown_scheme(self):
+        data = load_benchmark_datasets({"cancer": 160}, seed=0)
+        train, test = data["cancer"]
+        with pytest.raises(ValueError, match="unknown scheme"):
+            run_variant("diagonal", train, test, TINY)
+
+    def test_convergence_panel_decays(self):
+        result = run_panel("a", CANCER_ONLY)
+        series = result.series["cancer"]
+        assert series[-1] < series[0]
+
+    def test_accuracy_panel_in_unit_interval(self):
+        result = run_panel("g", CANCER_ONLY)
+        series = result.series["cancer"]
+        assert np.all((series >= 0) & (series <= 1))
+
+    def test_format_panel_contains_rows(self):
+        result = run_panel("a", CANCER_ONLY)
+        text = format_panel(result, every=4)
+        assert "Fig. 4(a)" in text
+        assert "cancer" in text
+        assert "final correct ratios" in text
+
+    def test_bad_panel_letter(self):
+        with pytest.raises(ValueError, match="panel"):
+            run_panel("z")
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+
+    def test_centralized_baseline(self):
+        headers, rows = centralized_baseline_table(CANCER_ONLY)
+        assert headers[0] == "dataset"
+        assert len(rows) == 1
+        assert rows[0][0] == "cancer"
+        assert 0.5 < rows[0][3] <= 1.0
+
+    def test_crypto_overhead_rows(self):
+        headers, rows = crypto_overhead_table(CANCER_ONLY, max_iter=3, paillier_bits=128)
+        labels = [r[0] for r in rows]
+        assert labels[0] == "plaintext"
+        assert "masking-fresh (paper)" in labels
+        assert any("paillier" in label for label in labels)
+        # masking costs more bytes than plaintext; paillier costs more
+        # seconds than masking.
+        plain = rows[0]
+        fresh = rows[1]
+        assert fresh[1] > plain[1]
+
+    def test_scalability_rows(self):
+        headers, rows = scalability_table(CANCER_ONLY, learner_counts=(2, 4), max_iter=3)
+        assert [r[0] for r in rows] == [2, 4]
+        # Mask traffic grows with M (O(M^2) pairwise masks).
+        assert rows[1][3] > rows[0][3]
+        assert all(r[5] == 0.0 for r in rows)  # data locality invariant
+
+    def test_baseline_comparison_includes_all_schemes(self):
+        headers, rows = baseline_comparison_table(CANCER_ONLY, max_iter=6)
+        schemes = " ".join(r[0] for r in rows)
+        for token in ("centralized", "this paper", "local-only", "random kernel", "DP"):
+            assert token in schemes
+
+
+class TestAblation:
+    def test_rho_sweep_rows(self):
+        headers, rows = rho_sweep((10.0, 100.0), CANCER_ONLY)
+        assert [r[0] for r in rows] == [10.0, 100.0]
+        assert all(np.isfinite(r[3]) for r in rows)
+
+    def test_c_sweep_rows(self):
+        headers, rows = c_sweep((1.0, 50.0), CANCER_ONLY)
+        assert len(rows) == 2
+
+    def test_landmark_sweep_traffic_column(self):
+        headers, rows = landmark_sweep((3, 6), CANCER_ONLY)
+        assert rows[0][3] == 4
+        assert rows[1][3] == 7

@@ -1,0 +1,59 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import generate_report
+
+TINY = ExperimentConfig(max_iter=5, sizes={"cancer": 140})
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            TINY,
+            panels="cg",
+            include_tables=False,
+            include_ablation=False,
+            progress=False,
+        )
+
+    def test_contains_requested_panels(self, report):
+        assert "## Fig. 4(c)" in report
+        assert "## Fig. 4(g)" in report
+        assert "## Fig. 4(a)" not in report
+
+    def test_contains_ascii_charts(self, report):
+        assert "```" in report
+        assert "|" in report  # plot borders
+
+    def test_configuration_header(self, report):
+        assert "M=4" in report
+        assert "rho=100.0" in report
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError, match="unknown panel"):
+            generate_report(TINY, panels="z", include_tables=False, include_ablation=False)
+
+    def test_tables_section(self):
+        text = generate_report(
+            TINY,
+            panels="",
+            include_tables=True,
+            include_ablation=False,
+            progress=False,
+        )
+        assert "Table S1" in text
+        assert "Table S4" in text
+
+    def test_ablation_section(self):
+        text = generate_report(
+            TINY,
+            panels="",
+            include_tables=False,
+            include_ablation=True,
+            progress=False,
+        )
+        assert "Ablation A1" in text
+        assert "Ablation A2" in text

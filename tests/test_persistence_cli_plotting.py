@@ -1,0 +1,175 @@
+"""Tests for persistence, the CLI, and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dp import DPLogisticRegression
+from repro.cli import main as cli_main
+from repro.core.horizontal_linear import HorizontalLinearSVM
+from repro.core.horizontal_logistic import HorizontalLogisticRegression
+from repro.core.partitioning import horizontal_partition
+from repro.data.synthetic import make_blobs, make_xor_task
+from repro.persistence import load_model, save_model
+from repro.svm.kernels import RBFKernel
+from repro.svm.model import SVC, LinearSVC
+from repro.utils.plotting import ascii_plot
+
+
+class TestPersistence:
+    def test_linear_svc_roundtrip(self, tmp_path):
+        ds = make_blobs(60, 3, seed=0)
+        model = LinearSVC(C=10.0).fit(ds.X, ds.y)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.decision_function(ds.X), model.decision_function(ds.X), atol=1e-10
+        )
+
+    def test_kernel_svc_roundtrip(self, tmp_path):
+        ds = make_xor_task(150, seed=1)
+        model = SVC(RBFKernel(gamma=1.0), C=50.0).fit(ds.X, ds.y)
+        path = tmp_path / "k.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.decision_function(ds.X), model.decision_function(ds.X), atol=1e-8
+        )
+        assert loaded.kernel.gamma == 1.0
+
+    def test_svc_stores_only_support_vectors(self, tmp_path):
+        ds = make_blobs(100, 2, delta=5.0, seed=2)
+        model = SVC(C=10.0).fit(ds.X, ds.y)
+        path = tmp_path / "sv.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.X_.shape[0] == len(model.support_indices_)
+        assert loaded.X_.shape[0] < ds.n_samples
+
+    def test_consensus_model_roundtrip(self, tmp_path, cancer_split):
+        train, test = cancer_split
+        parts = horizontal_partition(train, 3, seed=0)
+        model = HorizontalLinearSVM(max_iter=20).fit(parts)
+        path = tmp_path / "c.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(test.X), model.predict(test.X))
+
+    def test_logistic_roundtrip(self, tmp_path, cancer_split):
+        train, test = cancer_split
+        parts = horizontal_partition(train, 3, seed=0)
+        model = HorizontalLogisticRegression(max_iter=15).fit(parts)
+        path = tmp_path / "l.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.predict_proba(test.X), model.predict_proba(test.X), atol=1e-10
+        )
+
+    def test_dp_roundtrip(self, tmp_path, cancer_split):
+        train, test = cancer_split
+        model = DPLogisticRegression(epsilon=1.0, seed=0).fit(train.X, train.y)
+        path = tmp_path / "dp.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(test.X), model.predict(test.X))
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fit before saving"):
+            save_model(LinearSVC(), tmp_path / "x.npz")
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.npz")
+
+
+class TestCli:
+    def test_train_horizontal(self, capsys):
+        code = cli_main(["train", "--dataset", "cancer", "--samples", "200", "--iters", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test accuracy" in out
+        assert "raw data moved     : 0 bytes" in out
+
+    def test_train_vertical_kernel(self, capsys):
+        code = cli_main(
+            [
+                "train", "--dataset", "ocr", "--samples", "200", "--iters", "10",
+                "--mode", "vertical", "--kernel", "rbf", "--gamma", "0.002",
+            ]
+        )
+        assert code == 0
+        assert "vertical" in capsys.readouterr().out
+
+    def test_train_from_csv(self, tmp_path, capsys):
+        from repro.data.loaders import save_csv
+
+        ds = make_blobs(80, 3, seed=0)
+        path = tmp_path / "in.csv"
+        save_csv(ds, path)
+        code = cli_main(["train", "--csv", str(path), "--iters", "8", "--learners", "2"])
+        assert code == 0
+
+    def test_train_save_and_reload(self, tmp_path, capsys):
+        out_path = tmp_path / "model.npz"
+        code = cli_main(
+            ["train", "--dataset", "cancer", "--samples", "200", "--iters", "10",
+             "--save", str(out_path)]
+        )
+        assert code == 0
+        loaded = load_model(out_path)
+        assert loaded.consensus_weights_.shape == (9,)
+
+    def test_save_rejected_for_kernel(self, tmp_path, capsys):
+        code = cli_main(
+            ["train", "--dataset", "cancer", "--samples", "200", "--iters", "5",
+             "--kernel", "rbf", "--save", str(tmp_path / "m.npz")]
+        )
+        assert code == 2
+
+    def test_protocol_demo(self, capsys):
+        assert cli_main(["protocol-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "reducer obtains" in out
+
+    def test_figure4_single_panel(self, capsys, monkeypatch):
+        # Shrink the workload via the config path: run panel c (fast).
+        code = cli_main(["figure4", "--panels", "c", "--max-iter", "5"])
+        assert code == 0
+        assert "Fig. 4(c)" in capsys.readouterr().out
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot({"a": np.linspace(0, 1, 20)}, title="t", y_label="v")
+        assert "t" in chart
+        assert "a" in chart
+        assert "|" in chart
+
+    def test_log_scale(self):
+        chart = ascii_plot({"conv": np.logspace(0, -8, 30)}, logy=True)
+        assert "log10" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot({"x": np.ones(5), "y": np.zeros(5)})
+        assert "o x" in chart or ("o" in chart and "x" in chart)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_plot({"bad": np.array([np.nan, np.nan])})
+
+    def test_log_scale_needs_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"neg": np.array([-1.0, -2.0])}, logy=True)
+
+    def test_constant_series_ok(self):
+        chart = ascii_plot({"c": np.full(10, 3.0)})
+        assert "3.000" in chart
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"a": np.ones(3)}, width=5, height=2)

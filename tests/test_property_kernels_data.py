@@ -1,0 +1,89 @@
+"""Property-based tests for kernels and data utilities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.dataset import Dataset
+from repro.data.splits import train_test_split
+from repro.svm.kernels import LinearKernel, PolynomialKernel, RBFKernel
+
+point_arrays = hnp.arrays(
+    float,
+    st.tuples(st.integers(2, 15), st.integers(1, 5)),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestKernelProperties:
+    @given(point_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_gram_matrices_symmetric(self, X):
+        for kernel in (LinearKernel(), RBFKernel(0.3), PolynomialKernel(2)):
+            K = kernel.gram(X)
+            np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    @given(point_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_psd_kernels_have_nonnegative_spectrum(self, X):
+        for kernel in (LinearKernel(), RBFKernel(0.3), PolynomialKernel(2, offset=1.0)):
+            eigs = np.linalg.eigvalsh(kernel.gram(X))
+            assert eigs.min() >= -1e-6 * max(1.0, abs(eigs.max()))
+
+    @given(point_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_rbf_cauchy_schwarz(self, X):
+        K = RBFKernel(0.5).gram(X)
+        n = K.shape[0]
+        for i in range(n):
+            for j in range(n):
+                assert K[i, j] ** 2 <= K[i, i] * K[j, j] + 1e-9
+
+    @given(point_arrays, st.floats(0.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rbf_shift_invariance(self, X, shift):
+        kernel = RBFKernel(0.4)
+        np.testing.assert_allclose(
+            kernel.gram(X), kernel.gram(X + shift), atol=1e-9
+        )
+
+    @given(point_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_kernel_bilinearity(self, X):
+        kernel = LinearKernel()
+        K2 = kernel(2.0 * X, X)
+        np.testing.assert_allclose(K2, 2.0 * kernel(X, X), atol=1e-9)
+
+
+@st.composite
+def labeled_datasets(draw):
+    n = draw(st.integers(8, 40))
+    k = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, k))
+    y = rng.choice([-1.0, 1.0], size=n)
+    y[: n // 2] = 1.0
+    y[n // 2 :] = -1.0
+    return Dataset(X, y, "prop")
+
+
+class TestSplitProperties:
+    @given(labeled_datasets(), st.floats(0.2, 0.8), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_split_partitions_samples(self, dataset, fraction, seed):
+        train, test = train_test_split(dataset, fraction, seed=seed)
+        assert train.n_samples + test.n_samples == dataset.n_samples
+        combined = np.vstack([train.X, test.X])
+        assert combined.shape == dataset.X.shape
+
+    @given(labeled_datasets(), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_split_no_row_overlap(self, dataset, seed):
+        # Attach a unique id column so rows are distinguishable.
+        ids = np.arange(dataset.n_samples, dtype=float).reshape(-1, 1)
+        tagged = Dataset(np.hstack([dataset.X, ids]), dataset.y, "tagged")
+        train, test = train_test_split(tagged, 0.5, seed=seed)
+        train_ids = set(train.X[:, -1].astype(int))
+        test_ids = set(test.X[:, -1].astype(int))
+        assert not train_ids & test_ids

@@ -1,0 +1,142 @@
+"""Tests for Platt calibration and cross-validated grid search."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs, make_xor_task
+from repro.data.splits import train_test_split
+from repro.svm.calibration import PlattCalibrator
+from repro.svm.grid_search import GridSearch
+from repro.svm.kernels import RBFKernel
+from repro.svm.model import SVC, LinearSVC
+
+
+@pytest.fixture
+def scored_split():
+    ds = make_blobs(400, 3, delta=2.0, seed=0)
+    train, test = train_test_split(ds, seed=0)
+    model = LinearSVC(C=10.0).fit(train.X, train.y)
+    return model, train, test
+
+
+class TestPlattCalibrator:
+    def test_probabilities_monotone_in_score(self, scored_split):
+        model, train, test = scored_split
+        cal = PlattCalibrator().calibrate(model, train.X, train.y)
+        scores = model.decision_function(test.X)
+        proba = cal.predict_proba(scores)
+        order = np.argsort(scores)
+        assert np.all(np.diff(proba[order]) >= -1e-12)
+
+    def test_threshold_half_matches_sign(self, scored_split):
+        model, train, test = scored_split
+        cal = PlattCalibrator().calibrate(model, train.X, train.y)
+        proba = cal.predict_proba(model.decision_function(test.X))
+        preds_via_proba = np.where(proba >= 0.5, 1.0, -1.0)
+        agreement = np.mean(preds_via_proba == model.predict(test.X))
+        assert agreement > 0.95
+
+    def test_reliability_on_easy_data(self, scored_split):
+        # On well-separated scores the calibrated extremes should be
+        # confident and correct.
+        model, train, test = scored_split
+        cal = PlattCalibrator().calibrate(model, train.X, train.y)
+        proba = cal.predict_proba(model.decision_function(test.X))
+        confident_pos = proba > 0.9
+        if confident_pos.sum() >= 10:
+            assert np.mean(test.y[confident_pos] > 0) > 0.8
+        confident_neg = proba < 0.1
+        if confident_neg.sum() >= 10:
+            assert np.mean(test.y[confident_neg] < 0) > 0.8
+
+    def test_slope_negative_for_good_classifier(self, scored_split):
+        model, train, _ = scored_split
+        cal = PlattCalibrator().calibrate(model, train.X, train.y)
+        assert cal.A_ < 0.0  # P(y=1|f) increasing in f requires A < 0
+
+    def test_probabilities_in_unit_interval(self, scored_split):
+        model, train, test = scored_split
+        cal = PlattCalibrator().calibrate(model, train.X, train.y)
+        proba = cal.predict_proba(model.decision_function(test.X))
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            PlattCalibrator().fit([1.0, 2.0], [1, 1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().predict_proba([0.0])
+
+    def test_regularized_targets_avoid_extremes(self):
+        # Even perfectly separable scores yield probabilities strictly
+        # inside (0, 1) thanks to Platt's regularized targets.
+        scores = np.concatenate([np.full(20, 5.0), np.full(20, -5.0)])
+        y = np.concatenate([np.ones(20), -np.ones(20)])
+        cal = PlattCalibrator().fit(scores, y)
+        proba = cal.predict_proba(scores)
+        assert proba.max() < 1.0
+        assert proba.min() > 0.0
+
+
+class TestGridSearch:
+    def test_finds_reasonable_c(self):
+        ds = make_blobs(200, 2, delta=1.5, seed=1)
+        search = GridSearch(
+            lambda C: LinearSVC(C=C), {"C": [0.01, 1.0, 100.0]}, n_folds=4, seed=0
+        )
+        result = search.run(ds.X, ds.y)
+        assert result.best_score > 0.7
+        assert result.best_params["C"] in (0.01, 1.0, 100.0)
+
+    def test_table_covers_grid_and_is_sorted(self):
+        ds = make_blobs(120, 2, seed=2)
+        search = GridSearch(
+            lambda C: LinearSVC(C=C), {"C": [0.1, 1.0, 10.0]}, n_folds=3, seed=0
+        )
+        result = search.run(ds.X, ds.y)
+        assert len(result.table) == 3
+        means = [row[1] for row in result.table]
+        assert means == sorted(means, reverse=True)
+
+    def test_multi_parameter_product(self):
+        ds = make_xor_task(160, seed=3)
+        search = GridSearch(
+            lambda C, gamma: SVC(RBFKernel(gamma=gamma), C=C),
+            {"C": [1.0, 10.0], "gamma": [0.1, 1.0]},
+            n_folds=3,
+            seed=0,
+        )
+        result = search.run(ds.X, ds.y)
+        assert len(result.table) == 4
+        # XOR needs a reasonably wide RBF: the winner should beat 80%.
+        assert result.best_score > 0.8
+
+    def test_rbf_beats_linear_on_xor_via_search(self):
+        ds = make_xor_task(200, seed=4)
+        rbf = GridSearch(
+            lambda gamma: SVC(RBFKernel(gamma=gamma), C=10.0),
+            {"gamma": [0.5, 1.0]},
+            n_folds=3,
+            seed=0,
+        ).run(ds.X, ds.y)
+        linear = GridSearch(
+            lambda C: LinearSVC(C=C), {"C": [1.0, 10.0]}, n_folds=3, seed=0
+        ).run(ds.X, ds.y)
+        assert rbf.best_score > linear.best_score + 0.1
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(lambda: LinearSVC(), {})
+        with pytest.raises(ValueError):
+            GridSearch(lambda C: LinearSVC(C=C), {"C": []})
+
+    def test_deterministic_given_seed(self):
+        ds = make_blobs(100, 2, seed=5)
+        make = lambda: GridSearch(
+            lambda C: LinearSVC(C=C), {"C": [0.5, 5.0]}, n_folds=3, seed=7
+        )
+        a = make().run(ds.X, ds.y)
+        b = make().run(ds.X, ds.y)
+        assert a.best_params == b.best_params
+        assert a.best_score == b.best_score

@@ -1,0 +1,135 @@
+"""Unit tests for repro.svm.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.svm.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+    kernel_by_name,
+)
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(12, 4)), rng.normal(size=(7, 4))
+
+
+class TestLinearKernel:
+    def test_matches_inner_products(self, points):
+        A, B = points
+        np.testing.assert_allclose(LinearKernel()(A, B), A @ B.T)
+
+    def test_gram_symmetric(self, points):
+        A, _ = points
+        K = LinearKernel().gram(A)
+        np.testing.assert_array_equal(K, K.T)
+
+    def test_feature_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="feature dimension"):
+            LinearKernel()(rng.normal(size=(3, 2)), rng.normal(size=(3, 5)))
+
+    def test_equality_and_hash(self):
+        assert LinearKernel() == LinearKernel()
+        assert hash(LinearKernel()) == hash(LinearKernel())
+
+
+class TestPolynomialKernel:
+    def test_degree_one_is_affine_linear(self, points):
+        A, B = points
+        k = PolynomialKernel(degree=1, scale=2.0, offset=3.0)
+        np.testing.assert_allclose(k(A, B), 2.0 * (A @ B.T) + 3.0)
+
+    def test_matches_explicit_feature_map_degree2(self, rng):
+        # (x.z)^2 equals the inner product of degree-2 monomial features.
+        A = rng.normal(size=(5, 3))
+        B = rng.normal(size=(4, 3))
+        k = PolynomialKernel(degree=2, scale=1.0, offset=0.0)
+
+        def feats(X):
+            return np.stack([np.outer(x, x).ravel() for x in X])
+
+        np.testing.assert_allclose(k(A, B), feats(A) @ feats(B).T, rtol=1e-10)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+
+    def test_gram_psd(self, rng):
+        X = rng.normal(size=(20, 3))
+        eigs = np.linalg.eigvalsh(PolynomialKernel(degree=3).gram(X))
+        assert eigs.min() > -1e-8
+
+
+class TestRBFKernel:
+    def test_self_similarity_is_one(self, rng):
+        X = rng.normal(size=(6, 3))
+        K = RBFKernel(gamma=0.7).gram(X)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_matches_pairwise_formula(self, rng):
+        A = rng.normal(size=(5, 2))
+        B = rng.normal(size=(4, 2))
+        gamma = 0.3
+        K = RBFKernel(gamma=gamma)(A, B)
+        for i in range(5):
+            for j in range(4):
+                expected = np.exp(-gamma * np.sum((A[i] - B[j]) ** 2))
+                assert K[i, j] == pytest.approx(expected, rel=1e-12)
+
+    def test_values_in_unit_interval(self, rng):
+        K = RBFKernel(gamma=1.0)(rng.normal(size=(8, 3)), rng.normal(size=(8, 3)))
+        assert np.all(K > 0.0) and np.all(K <= 1.0)
+
+    def test_gram_psd(self, rng):
+        X = rng.normal(size=(25, 4))
+        eigs = np.linalg.eigvalsh(RBFKernel(gamma=0.5).gram(X))
+        assert eigs.min() > -1e-10
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            RBFKernel(gamma=0.0)
+
+    def test_diagonal_shortcut(self, rng):
+        X = rng.normal(size=(9, 3))
+        np.testing.assert_allclose(RBFKernel(0.4).diagonal(X), 1.0)
+
+
+class TestSigmoidKernel:
+    def test_matches_formula(self, rng):
+        A = rng.normal(size=(3, 2))
+        B = rng.normal(size=(3, 2))
+        K = SigmoidKernel(scale=0.5, offset=-0.1)(A, B)
+        np.testing.assert_allclose(K, np.tanh(0.5 * (A @ B.T) - 0.1))
+
+    def test_bounded(self, rng):
+        K = SigmoidKernel()(rng.normal(size=(10, 3)) * 10, rng.normal(size=(10, 3)) * 10)
+        assert np.all(np.abs(K) <= 1.0)
+
+
+class TestKernelByName:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("linear", LinearKernel),
+            ("poly", PolynomialKernel),
+            ("polynomial", PolynomialKernel),
+            ("rbf", RBFKernel),
+            ("sigmoid", SigmoidKernel),
+        ],
+    )
+    def test_dispatch(self, name, cls):
+        assert isinstance(kernel_by_name(name), cls)
+
+    def test_params_forwarded(self):
+        k = kernel_by_name("rbf", gamma=2.5)
+        assert k.gamma == 2.5
+
+    def test_case_insensitive(self):
+        assert isinstance(kernel_by_name("  RBF "), RBFKernel)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel_by_name("laplacian")

@@ -1,0 +1,125 @@
+"""Tests for the one-vs-rest / one-vs-one multiclass reductions."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.svm.kernels import RBFKernel
+from repro.svm.model import SVC, LinearSVC
+from repro.svm.multiclass import OneVsOneClassifier, OneVsRestClassifier
+
+
+def make_multiclass(n_per_class=40, n_classes=3, seed=0):
+    """Well-separated Gaussian blobs with integer class labels."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=6.0, size=(n_classes, 2))
+    X = np.vstack(
+        [center + rng.normal(size=(n_per_class, 2)) for center in centers]
+    )
+    y = np.repeat(np.arange(n_classes, dtype=float), n_per_class)
+    perm = rng.permutation(len(y))
+    return X[perm], y[perm]
+
+
+@pytest.fixture
+def three_class():
+    return make_multiclass(seed=1)
+
+
+class TestOneVsRest:
+    def test_high_accuracy_on_separated_blobs(self, three_class):
+        X, y = three_class
+        model = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predictions_are_known_classes(self, three_class):
+        X, y = three_class
+        model = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= set(np.unique(y))
+
+    def test_one_model_per_class(self, three_class):
+        X, y = three_class
+        model = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert len(model.models_) == 3
+
+    def test_decision_matrix_shape(self, three_class):
+        X, y = three_class
+        model = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert model.decision_matrix(X[:7]).shape == (7, 3)
+
+    def test_kernel_factory(self):
+        X, y = make_multiclass(30, 4, seed=2)
+        model = OneVsRestClassifier(lambda: SVC(RBFKernel(gamma=0.3), C=10.0)).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_binary_case_consistent_with_plain_svc(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(size=(30, 2)) + 4, rng.normal(size=(30, 2)) - 4])
+        y = np.array([1.0] * 30 + [2.0] * 30)
+        ovr = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert ovr.score(X, y) == 1.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            OneVsRestClassifier(lambda: LinearSVC()).fit(np.ones((3, 2)), [1, 1, 1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier(lambda: LinearSVC()).predict(np.ones((1, 2)))
+
+
+class TestOneVsOne:
+    def test_high_accuracy(self, three_class):
+        X, y = three_class
+        model = OneVsOneClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_pair_count(self):
+        X, y = make_multiclass(20, 4, seed=3)
+        model = OneVsOneClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert len(model.models_) == 6  # C(4, 2)
+
+    def test_agrees_with_ovr_on_easy_data(self, three_class):
+        X, y = three_class
+        ovo = OneVsOneClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        ovr = OneVsRestClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        agreement = np.mean(ovo.predict(X) == ovr.predict(X))
+        assert agreement > 0.95
+
+    def test_ocr_like_ten_class_digits(self):
+        # A 10-class "digit" task in the OCR spirit: prototype + noise.
+        rng = np.random.default_rng(4)
+        prototypes = rng.normal(size=(10, 16)) * 3.0
+        X = np.vstack([p + rng.normal(size=(15, 16)) for p in prototypes])
+        y = np.repeat(np.arange(10.0), 15)
+        model = OneVsOneClassifier(lambda: LinearSVC(C=10.0)).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsOneClassifier(lambda: LinearSVC()).predict(np.ones((1, 2)))
+
+
+class TestDistributedFactory:
+    def test_ovr_over_consensus_trainer(self):
+        # The reductions compose with the distributed trainer through a
+        # fit/decision_function adapter — multiclass PPML end-to-end.
+        from repro.core.horizontal_linear import HorizontalLinearSVM
+        from repro.core.partitioning import horizontal_partition
+
+        X, y = make_multiclass(32, 3, seed=5)
+
+        class ConsensusBinary:
+            def __init__(self):
+                self.model = HorizontalLinearSVM(C=10.0, rho=10.0, max_iter=25)
+
+            def fit(self, X, y):
+                ds = Dataset(X, y, "mc")
+                self.model.fit(horizontal_partition(ds, 2, seed=0))
+                return self
+
+            def decision_function(self, X):
+                return self.model.decision_function(X)
+
+        ovr = OneVsRestClassifier(ConsensusBinary).fit(X, y)
+        assert ovr.score(X, y) > 0.9

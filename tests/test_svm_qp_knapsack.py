@@ -1,0 +1,154 @@
+"""Unit tests for the box-QP and quadratic-knapsack solvers."""
+
+import numpy as np
+import pytest
+
+from repro.svm.knapsack import solve_quadratic_knapsack
+from repro.svm.qp import projected_gradient_residual, solve_box_qp
+
+
+def random_psd(rng, n, rank=None):
+    rank = rank if rank is not None else n
+    A = rng.normal(size=(n, rank))
+    return A @ A.T
+
+
+class TestSolveBoxQP:
+    def test_unconstrained_interior_solution(self, rng):
+        # Strongly convex with minimizer well inside the box.
+        H = random_psd(rng, 5) + 5.0 * np.eye(5)
+        x_star = rng.uniform(0.3, 0.7, size=5)
+        d = -H @ x_star
+        result = solve_box_qp(H, d, 0.0, 1.0)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-6)
+
+    def test_active_bounds(self):
+        # min (x-2)^2 on [0, 1] -> x = 1; min (x+3)^2 -> x = 0.
+        H = np.eye(2) * 2.0
+        d = np.array([-4.0, 6.0])
+        result = solve_box_qp(H, d, 0.0, 1.0)
+        np.testing.assert_allclose(result.x, [1.0, 0.0], atol=1e-10)
+
+    def test_kkt_residual_reported(self, rng):
+        H = random_psd(rng, 8) + np.eye(8)
+        d = rng.normal(size=8)
+        result = solve_box_qp(H, d, 0.0, 10.0, tol=1e-10)
+        assert result.kkt_residual <= 1e-10
+
+    def test_warm_start_converges_faster(self, rng):
+        H = random_psd(rng, 30) + 0.1 * np.eye(30)
+        d = rng.normal(size=30)
+        cold = solve_box_qp(H, d, 0.0, 5.0)
+        warm = solve_box_qp(H, d, 0.0, 5.0, x0=cold.x)
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+
+    def test_degenerate_zero_diagonal_linear_coordinate(self):
+        # Coordinate with H_ii = 0: objective linear, pushes to a bound.
+        H = np.zeros((2, 2))
+        H[0, 0] = 2.0
+        d = np.array([0.0, -3.0])  # second coordinate wants upper bound
+        result = solve_box_qp(H, d, 0.0, 4.0)
+        assert result.x[1] == pytest.approx(4.0)
+
+    def test_matches_brute_force_on_small_grid(self, rng):
+        H = random_psd(rng, 2) + np.eye(2)
+        d = rng.normal(size=2)
+        result = solve_box_qp(H, d, 0.0, 1.0, tol=1e-12)
+        grid = np.linspace(0, 1, 201)
+        best = min(
+            0.5 * np.array([a, b]) @ H @ np.array([a, b]) + d @ np.array([a, b])
+            for a in grid
+            for b in grid
+        )
+        assert result.objective <= best + 1e-6
+
+    def test_rejects_nonsquare(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            solve_box_qp(rng.normal(size=(3, 2)), np.zeros(3))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="lower bound exceeds"):
+            solve_box_qp(np.eye(2), np.zeros(2), 1.0, 0.0)
+
+    def test_per_coordinate_bounds(self):
+        H = np.eye(2) * 2.0
+        d = np.array([-10.0, -10.0])
+        result = solve_box_qp(H, d, np.array([0.0, 0.0]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(result.x, [1.0, 3.0])
+
+    def test_x0_projected_into_box(self):
+        result = solve_box_qp(np.eye(2), np.zeros(2), 0.0, 1.0, x0=[5.0, -5.0])
+        assert np.all(result.x >= 0.0) and np.all(result.x <= 1.0)
+
+
+class TestProjectedGradientResidual:
+    def test_zero_at_interior_stationary_point(self):
+        grad = np.zeros(3)
+        assert projected_gradient_residual(grad, np.ones(3) * 0.5, np.zeros(3), np.ones(3)) == 0.0
+
+    def test_ignores_gradient_pushing_into_active_bound(self):
+        grad = np.array([2.0])  # pushing down while at lower bound
+        x, lo, hi = np.array([0.0]), np.array([0.0]), np.array([1.0])
+        assert projected_gradient_residual(grad, x, lo, hi) == 0.0
+
+    def test_flags_gradient_pulling_off_bound(self):
+        grad = np.array([-2.0])  # wants to increase from lower bound
+        x, lo, hi = np.array([0.0]), np.array([0.0]), np.array([1.0])
+        assert projected_gradient_residual(grad, x, lo, hi) == 2.0
+
+
+class TestQuadraticKnapsack:
+    def test_satisfies_equality_constraint(self, rng):
+        n = 20
+        a = rng.uniform(0.5, 2.0, size=n)
+        d = rng.normal(size=n)
+        c = rng.choice([-1.0, 1.0], size=n)
+        result = solve_quadratic_knapsack(a, d, c, 0.0, 0.0, 5.0)
+        assert result.constraint_residual < 1e-8
+
+    def test_respects_box(self, rng):
+        n = 15
+        result = solve_quadratic_knapsack(
+            np.ones(n), rng.normal(size=n), rng.choice([-1.0, 1.0], size=n), 0.0, 0.0, 2.0
+        )
+        assert np.all(result.x >= -1e-12) and np.all(result.x <= 2.0 + 1e-12)
+
+    def test_matches_generic_qp_solution(self, rng):
+        # Cross-check against an equality-eliminated closed form on n=2:
+        # min a1/2 x1^2 + d1 x1 + a2/2 x2^2 + d2 x2 s.t. x1 - x2 = 0.
+        a = np.array([2.0, 3.0])
+        d = np.array([-4.0, 1.0])
+        c = np.array([1.0, -1.0])
+        result = solve_quadratic_knapsack(a, d, c, 0.0, -10.0, 10.0)
+        # With x1 = x2 = t: minimize (a1+a2)/2 t^2 + (d1+d2) t.
+        t = -(d.sum()) / a.sum()
+        np.testing.assert_allclose(result.x, [t, t], atol=1e-8)
+
+    def test_nonzero_rhs(self):
+        # min sum x_i^2 / 2 s.t. x1 + x2 = 3, 0 <= x <= 2 -> (1.5, 1.5).
+        result = solve_quadratic_knapsack(
+            np.ones(2), np.zeros(2), np.ones(2), 3.0, 0.0, 2.0
+        )
+        np.testing.assert_allclose(result.x, [1.5, 1.5], atol=1e-8)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_quadratic_knapsack(np.ones(2), np.zeros(2), np.ones(2), 100.0, 0.0, 1.0)
+
+    def test_rejects_nonpositive_hessian(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            solve_quadratic_knapsack(np.array([1.0, 0.0]), np.zeros(2), np.ones(2))
+
+    def test_kkt_structure(self, rng):
+        # Interior coordinates must satisfy a_i x_i + d_i + nu c_i = 0.
+        n = 30
+        a = rng.uniform(1.0, 2.0, size=n)
+        d = rng.normal(size=n)
+        c = rng.choice([-1.0, 1.0], size=n)
+        result = solve_quadratic_knapsack(a, d, c, 0.0, 0.0, 1.0)
+        interior = (result.x > 1e-6) & (result.x < 1.0 - 1e-6)
+        if interior.any():
+            stationarity = a[interior] * result.x[interior] + d[interior] + result.nu * c[interior]
+            np.testing.assert_allclose(stationarity, 0.0, atol=1e-6)

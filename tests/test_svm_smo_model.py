@@ -1,0 +1,148 @@
+"""Tests for the SMO solver and the centralized SVC/LinearSVC models."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs, make_linear_task, make_xor_task
+from repro.svm.kernels import LinearKernel, RBFKernel
+from repro.svm.model import SVC, LinearSVC, accuracy
+from repro.svm.smo import solve_svm_dual
+
+
+class TestSolveSvmDual:
+    def test_respects_box_and_equality(self, rng):
+        ds = make_blobs(60, 2, delta=3.0, seed=2)
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=10.0)
+        assert result.converged
+        assert np.all(result.alpha >= -1e-12)
+        assert np.all(result.alpha <= 10.0 + 1e-12)
+        assert abs(float(ds.y @ result.alpha)) < 1e-6
+
+    def test_matches_cvx_style_reference_on_tiny_problem(self):
+        # 4-point separable problem with a known solution structure:
+        # two support vectors at the margin, alpha equal by symmetry.
+        X = np.array([[1.0, 0.0], [2.0, 0.0], [-1.0, 0.0], [-2.0, 0.0]])
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        K = LinearKernel().gram(X)
+        result = solve_svm_dual(K, y, C=100.0, tol=1e-8)
+        w = (result.alpha * y) @ X
+        # Optimal separator: w = (1, 0), b = 0 (margin 1 at x = +-1).
+        np.testing.assert_allclose(w, [1.0, 0.0], atol=1e-5)
+        assert result.bias == pytest.approx(0.0, abs=1e-5)
+
+    def test_separable_margin_constraints_hold(self):
+        ds = make_linear_task(100, 3, margin=0.6, seed=1)
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=1e4, tol=1e-6)
+        w = (result.alpha * ds.y) @ ds.X
+        margins = ds.y * (ds.X @ w + result.bias)
+        assert margins.min() > 0.99
+
+    def test_bounded_support_vectors_at_C_for_noisy_data(self):
+        ds = make_blobs(80, 2, delta=0.5, seed=3)  # heavy overlap
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=1.0)
+        assert np.sum(result.alpha >= 1.0 - 1e-8) > 0
+
+    def test_dual_objective_decreases_vs_zero(self, rng):
+        ds = make_blobs(40, 2, seed=4)
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=5.0)
+        Q = np.outer(ds.y, ds.y) * K
+        obj = 0.5 * result.alpha @ Q @ result.alpha - result.alpha.sum()
+        assert obj < 0.0  # alpha = 0 has objective 0
+
+    def test_iteration_budget_respected(self):
+        ds = make_blobs(60, 2, delta=0.3, seed=5)
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=100.0, max_iter=10)
+        assert result.iterations <= 10
+        assert not result.converged
+
+    def test_rejects_nonsquare_gram(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            solve_svm_dual(rng.normal(size=(3, 2)), [1, -1, 1], C=1.0)
+
+    def test_support_indices(self):
+        ds = make_blobs(50, 2, delta=4.0, seed=6)
+        K = LinearKernel().gram(ds.X)
+        result = solve_svm_dual(K, ds.y, C=10.0)
+        sv = result.support_indices
+        assert 0 < len(sv) < len(ds.y)  # sparse solution on separable data
+
+
+class TestSVC:
+    def test_perfect_on_separable(self):
+        ds = make_linear_task(120, 4, seed=0)
+        model = SVC(C=100.0).fit(ds.X, ds.y)
+        assert model.score(ds.X, ds.y) == 1.0
+
+    def test_rbf_solves_xor(self):
+        ds = make_xor_task(300, seed=1)
+        model = SVC(RBFKernel(gamma=1.0), C=50.0).fit(ds.X, ds.y)
+        assert model.score(ds.X, ds.y) > 0.97
+
+    def test_linear_fails_xor(self):
+        ds = make_xor_task(300, seed=1)
+        model = SVC(C=50.0).fit(ds.X, ds.y)
+        assert model.score(ds.X, ds.y) < 0.8
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.ones((1, 2)))
+
+    def test_predict_returns_plus_minus_one(self):
+        ds = make_blobs(40, 2, seed=0)
+        preds = SVC(C=10.0).fit(ds.X, ds.y).predict(ds.X)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_decision_function_sign_matches_predict(self):
+        ds = make_blobs(40, 2, seed=0)
+        model = SVC(C=10.0).fit(ds.X, ds.y)
+        scores = model.decision_function(ds.X)
+        preds = model.predict(ds.X)
+        assert np.all((scores >= 0) == (preds > 0))
+
+    def test_rejects_invalid_C(self):
+        with pytest.raises(ValueError):
+            SVC(C=-1.0)
+
+    def test_support_vectors_subset(self):
+        ds = make_blobs(60, 2, delta=4.0, seed=2)
+        model = SVC(C=10.0).fit(ds.X, ds.y)
+        assert len(model.support_indices_) < ds.n_samples
+
+
+class TestLinearSVC:
+    def test_coef_reproduces_decision_function(self):
+        ds = make_blobs(60, 3, seed=1)
+        model = LinearSVC(C=10.0).fit(ds.X, ds.y)
+        kernel_scores = (
+            LinearKernel()(ds.X, model.X_) @ (model.alpha_ * model.y_) + model.bias_
+        )
+        np.testing.assert_allclose(model.decision_function(ds.X), kernel_scores, atol=1e-8)
+
+    def test_feature_mismatch_raises(self):
+        ds = make_blobs(30, 3, seed=1)
+        model = LinearSVC().fit(ds.X, ds.y)
+        with pytest.raises(ValueError, match="features"):
+            model.decision_function(np.ones((2, 5)))
+
+    def test_larger_C_shrinks_training_error(self):
+        ds = make_blobs(200, 2, delta=1.5, seed=3)
+        soft = LinearSVC(C=0.01).fit(ds.X, ds.y)
+        hard = LinearSVC(C=100.0).fit(ds.X, ds.y)
+        assert hard.score(ds.X, ds.y) >= soft.score(ds.X, ds.y) - 1e-9
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, -1], [1, -1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, -1], [1, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, -1], [1])

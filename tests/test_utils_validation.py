@@ -1,0 +1,142 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_labels,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_passes_through_2d(self):
+        X = np.arange(6.0).reshape(2, 3)
+        out = check_matrix(X)
+        assert out.shape == (2, 3)
+        np.testing.assert_array_equal(out, X)
+
+    def test_promotes_1d_to_column(self):
+        out = check_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_matrix(np.zeros((0, 3)))
+
+    def test_allow_empty_flag(self):
+        out = check_matrix(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_matrix([[np.inf, 1.0]])
+
+    def test_coerces_int_dtype_to_float(self):
+        out = check_matrix(np.array([[1, 2]], dtype=int))
+        assert out.dtype == float
+
+    def test_name_appears_in_error(self):
+        with pytest.raises(ValueError, match="mymatrix"):
+            check_matrix(np.zeros((2, 2, 2)), "mymatrix")
+
+
+class TestCheckVector:
+    def test_flattens(self):
+        out = check_vector([[1.0], [2.0]])
+        assert out.shape == (2,)
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError, match="length 3"):
+            check_vector([1.0, 2.0], length=3)
+
+    def test_length_ok(self):
+        out = check_vector([1.0, 2.0], length=2)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_vector([np.nan])
+
+
+class TestCheckLabels:
+    def test_accepts_plus_minus_one(self):
+        out = check_labels([1, -1, 1])
+        assert set(out) == {-1.0, 1.0}
+
+    def test_accepts_single_class(self):
+        out = check_labels([1, 1])
+        assert out.tolist() == [1.0, 1.0]
+
+    def test_rejects_zero_one_labels(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            check_labels([0, 1])
+
+    def test_rejects_arbitrary_values(self):
+        with pytest.raises(ValueError):
+            check_labels([2.0, -1.0])
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            check_labels([1, -1], length=3)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5) == 2.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0.0)
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive(-1.0, strict=False)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("inf"))
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability(None)

@@ -1,0 +1,112 @@
+"""Tests for vertical feature selection and VerticalPartition.restrict —
+the paper's §VI 'sudden jumps from redundant features' remedy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import Network
+from repro.core.feature_selection import correlation_scores, vertical_feature_selection
+from repro.core.partitioning import vertical_partition
+from repro.core.vertical_linear import VerticalLinearSVM
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_blobs
+from repro.utils.rng import as_rng
+
+
+def redundant_vertical(n=240, n_noise=6, seed=0):
+    rng = as_rng(seed)
+    core = make_blobs(n, 6, delta=3.5, seed=seed)
+    noise = rng.standard_normal((n, n_noise))
+    ds = Dataset(np.hstack([core.X, noise]), core.y, "redundant")
+    return ds, vertical_partition(ds, 3, seed=1)
+
+
+class TestVerticalFeatureSelection:
+    def test_matches_centralized_scores(self):
+        ds, partition = redundant_vertical()
+        result = vertical_feature_selection(partition, 6)
+        np.testing.assert_allclose(
+            result.scores, correlation_scores(ds.X, ds.y), atol=1e-10
+        )
+
+    def test_selects_informative_columns(self):
+        ds, partition = redundant_vertical()
+        result = vertical_feature_selection(partition, 6)
+        assert set(result.selected.tolist()) == {0, 1, 2, 3, 4, 5}
+
+    def test_wire_carries_scores_not_columns(self):
+        _, partition = redundant_vertical()
+        network = Network()
+        vertical_feature_selection(partition, 6, network=network)
+        for message in network.message_log:
+            if message.kind == "feature-scores":
+                payload = np.asarray(message.payload)
+                # One float per owned column — never N rows of raw data.
+                assert payload.ndim == 1
+                assert payload.size < partition.n_samples
+
+    def test_k_bounds(self):
+        _, partition = redundant_vertical()
+        with pytest.raises(ValueError, match="n_features"):
+            vertical_feature_selection(partition, 0)
+        with pytest.raises(ValueError, match="n_features"):
+            vertical_feature_selection(partition, 99)
+
+    def test_type_check(self):
+        ds, _ = redundant_vertical()
+        with pytest.raises(TypeError):
+            vertical_feature_selection([ds], 3)
+
+
+class TestPartitionRestrict:
+    def test_restrict_keeps_selected_columns(self):
+        ds, partition = redundant_vertical()
+        restricted = partition.restrict([0, 1, 2, 3, 4, 5])
+        assert sum(f.size for f in restricted.features) == 6
+        # Reassembled blocks equal the original selected columns.
+        reassembled = np.zeros((ds.n_samples, 6))
+        for feats, block in zip(restricted.features, restricted.blocks):
+            reassembled[:, feats] = block
+        np.testing.assert_array_equal(reassembled, ds.X[:, :6])
+
+    def test_split_features_consistent_after_restrict(self):
+        ds, partition = redundant_vertical()
+        selected = [0, 2, 4, 6, 8]
+        restricted = partition.restrict(selected)
+        test_X = ds.X[:10][:, selected]
+        blocks = restricted.split_features(test_X)
+        for feats, block in zip(restricted.features, blocks):
+            np.testing.assert_array_equal(block, test_X[:, feats])
+
+    def test_restrict_drops_empty_learners_guard(self):
+        ds, partition = redundant_vertical()
+        # Selecting a single learner's single column leaves < 2 learners.
+        only_one = [int(partition.features[0][0])]
+        with pytest.raises(ValueError, match="fewer than 2"):
+            partition.restrict(only_one)
+
+    @staticmethod
+    def _train_test(seed):
+        """Row-split one redundant dataset into train/test halves."""
+        from repro.data.splits import train_test_split
+
+        ds, _ = redundant_vertical(n=480, seed=seed)
+        train, test = train_test_split(ds, 0.5, seed=0)
+        return vertical_partition(train, 3, seed=1), test
+
+    def test_training_after_selection_works(self):
+        partition, test = self._train_test(seed=2)
+        result = vertical_feature_selection(partition, 6)
+        restricted = partition.restrict(result.selected)
+        model = VerticalLinearSVM(max_iter=60).fit(restricted)
+        acc = model.score(test.X[:, result.selected], test.y)
+        assert acc > 0.85
+
+    def test_selection_does_not_hurt_accuracy(self):
+        partition, test = self._train_test(seed=4)
+        full = VerticalLinearSVM(max_iter=60).fit(partition)
+        result = vertical_feature_selection(partition, 6)
+        trimmed = VerticalLinearSVM(max_iter=60).fit(partition.restrict(result.selected))
+        full_acc = full.score(test.X, test.y)
+        trimmed_acc = trimmed.score(test.X[:, result.selected], test.y)
+        assert trimmed_acc >= full_acc - 0.04

@@ -4,6 +4,10 @@ Complements Fig. 4 (which measures the *mathematics*) with the *system*
 view the paper argues for in §I: per-iteration communication and wall
 time of the complete MapReduce + secure-summation pipeline for each of
 the four variants, plus the simulated network-transfer time.
+
+Also prints the trace-derived per-round breakdown for the
+horizontal-linear variant and asserts the trace totals reconcile with
+the counter registry (see ``docs/OBSERVABILITY.md``).
 """
 
 import time
@@ -42,6 +46,7 @@ def _run(config, max_iter=15):
         "raw_bytes_moved",
     ]
     rows = []
+    breakdown = None
     for label, mode, kernel_name in VARIANTS:
         kernel = RBFKernel(gamma=gamma) if kernel_name else None
         model = PrivacyPreservingSVM(
@@ -70,8 +75,19 @@ def _run(config, max_iter=15):
                 summary["raw_data_bytes_moved"],
             ]
         )
+        if label == "horizontal-linear":
+            breakdown = (model.iteration_cost_table(), summary)
     print()
     print(format_table(headers, rows))
+
+    # Trace-derived per-round breakdown for the reference variant; its
+    # totals must reconcile with the counter registry exactly.
+    (b_headers, b_rows), h_summary = breakdown
+    print()
+    print("horizontal-linear per-round breakdown (from the trace):")
+    print(format_table(b_headers, b_rows))
+    total_col = b_headers.index("total_bytes")
+    assert sum(row[total_col] for row in b_rows) == h_summary["total_bytes"]
 
     # Shape assertions: vertical consensus is an N-vector, so it moves
     # more bytes/iter than the k-vector (or l-vector) horizontal ones;

@@ -12,6 +12,11 @@ Commands
     Run the full evaluation and write a Markdown report.
 ``protocol-demo``
     One round of the secure summation protocol with a visible ledger.
+``trace``
+    Train a small model, print its per-iteration cost table derived
+    from the structured trace, verify it reconciles with the counter
+    registry, and optionally export Chrome-trace or JSONL files (see
+    ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -75,6 +80,18 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("protocol-demo", help="one secure-summation round, annotated")
+
+    trace = sub.add_parser("trace", help="trace a training run and print its cost table")
+    trace.add_argument("--dataset", choices=sorted(_MAKERS), default="cancer")
+    trace.add_argument("--samples", type=int, default=200)
+    trace.add_argument("--mode", choices=["horizontal", "vertical"], default="horizontal")
+    trace.add_argument("--learners", type=int, default=4)
+    trace.add_argument("--iters", type=int, default=10)
+    trace.add_argument("--insecure", action="store_true", help="plaintext aggregation")
+    trace.add_argument("--mask-mode", choices=["fresh", "prg"], default="fresh")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", help="write Chrome-trace JSON here (chrome://tracing)")
+    trace.add_argument("--jsonl", help="write the span/event/counter records here")
     return parser
 
 
@@ -175,6 +192,67 @@ def _cmd_protocol_demo(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    dataset = _MAKERS[args.dataset](args.samples, seed=args.seed)
+    train_set, _ = train_test_split(dataset, 0.5, seed=args.seed)
+    scaler = StandardScaler().fit(train_set.X)
+    train_set = scaler.transform_dataset(train_set)
+
+    model = PrivacyPreservingSVM(
+        args.mode,
+        max_iter=args.iters,
+        secure=not args.insecure,
+        mask_mode=args.mask_mode,
+        seed=args.seed,
+    )
+    if args.mode == "horizontal":
+        data = horizontal_partition(train_set, args.learners, seed=args.seed)
+    else:
+        data = vertical_partition(train_set, args.learners, seed=args.seed)
+    model.fit(data)
+
+    headers, rows = model.iteration_cost_table()
+    print(f"per-iteration cost, {args.mode} "
+          f"{'secure' if not args.insecure else 'PLAINTEXT'} run "
+          f"({args.learners} learners, {len(model.history_)} iterations):")
+    print()
+    print(format_table(headers, rows))
+    print()
+
+    # Reconcile the trace-derived table against the counter registry —
+    # the two views of the same run must agree exactly.
+    metrics = model.network_.metrics
+    table_bytes = sum(row[headers.index("total_bytes")] for row in rows)
+    table_messages = sum(row[headers.index("messages")] for row in rows)
+    table_crypto = sum(row[headers.index("crypto_ops")] for row in rows)
+    registry_crypto = sum(
+        amount for name, amount in metrics.as_dict().items() if name.startswith("crypto.")
+    )
+    checks = [
+        ("bytes", table_bytes, model.network_.bytes_sent()),
+        ("messages", table_messages, model.network_.messages_sent()),
+        ("crypto ops", table_crypto, registry_crypto),
+    ]
+    ok = True
+    for label, from_trace, from_registry in checks:
+        match = from_trace == from_registry
+        ok = ok and match
+        print(f"{label:>10}: trace {from_trace:.0f} == registry {from_registry:.0f} "
+              f"{'OK' if match else 'MISMATCH'}")
+    print(f"{'raw bytes':>10}: {model.raw_data_bytes_moved():.0f} "
+          f"(dropped trace records: {model.network_.tracer.dropped})")
+
+    if args.out:
+        model.export_trace(args.out, format="chrome")
+        print(f"Chrome trace written to {args.out} (load at chrome://tracing)")
+    if args.jsonl:
+        model.export_trace(args.jsonl, format="jsonl")
+        print(f"JSONL trace written to {args.jsonl}")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -183,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure4": _cmd_figure4,
         "report": _cmd_report,
         "protocol-demo": _cmd_protocol_demo,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

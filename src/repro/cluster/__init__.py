@@ -16,14 +16,23 @@ communication claims can be *measured*:
 * :mod:`repro.cluster.scheduler` — locality-aware map-task placement;
 * :mod:`repro.cluster.mapreduce` — classic one-shot MapReduce jobs;
 * :mod:`repro.cluster.twister` — the iterative MapReduce driver with a
-  broadcast feedback channel used by the privacy-preserving trainers.
+  broadcast feedback channel used by the privacy-preserving trainers;
+* :mod:`repro.cluster.tracing` — structured spans/events/counter samples
+  with JSONL and Chrome-trace exporters;
+* :mod:`repro.cluster.profiling` — the :class:`Profiler` facade joining
+  the counter registry and the trace recorder behind one snapshot.
+
+The observability surface (every counter name, the span schema, and the
+exporter formats) is documented in ``docs/OBSERVABILITY.md``.
 """
 
 from repro.cluster.hdfs import Block, HdfsError, SimulatedHdfs
 from repro.cluster.mapreduce import MapReduceJob
 from repro.cluster.metrics import MetricRegistry
 from repro.cluster.network import LatencyModel, Message, Network, NetworkError
+from repro.cluster.profiling import Profiler
 from repro.cluster.scheduler import LocalityScheduler, TaskAssignment
+from repro.cluster.tracing import Span, TraceEvent, TraceRecorder, cost_table
 from repro.cluster.twister import (
     IterationResult,
     IterativeMapper,
@@ -45,6 +54,11 @@ __all__ = [
     "MetricRegistry",
     "Network",
     "NetworkError",
+    "Profiler",
     "SimulatedHdfs",
+    "Span",
     "TaskAssignment",
+    "TraceEvent",
+    "TraceRecorder",
+    "cost_table",
 ]

@@ -145,23 +145,36 @@ class SimulatedHdfs:
             raise HdfsError(f"replication {n_replicas} exceeds cluster size {len(nodes)}")
 
         placement: list[list[str]] = []
-        for index, (payload, primary) in enumerate(zip(parts, preferred_nodes)):
-            if primary not in self._storage:
-                raise HdfsError(f"unknown data node {primary!r}")
-            size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-            block = Block(file_name=name, index=index, payload=payload, size_bytes=size)
-            replicas = [primary]
-            self._storage[primary][block.block_id] = block
-            # Additional replicas are *copied over the network* from the
-            # primary — this is what makes replicating private data
-            # visibly unsafe in the byte accounting.
-            other = [n for n in nodes if n != primary]
-            for replica_node in other[: n_replicas - 1]:
-                self.network.send(primary, replica_node, payload, kind="hdfs-replication")
-                self._storage[replica_node][block.block_id] = block
-                replicas.append(replica_node)
-            placement.append(replicas)
-            self.network.metrics.increment("hdfs.blocks_written", 1)
+        with self.network.tracer.span(
+            "hdfs.put", kind="hdfs", file_name=name, n_blocks=len(parts), private=private
+        ):
+            for index, (payload, primary) in enumerate(zip(parts, preferred_nodes)):
+                if primary not in self._storage:
+                    raise HdfsError(f"unknown data node {primary!r}")
+                size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+                block = Block(file_name=name, index=index, payload=payload, size_bytes=size)
+                replicas = [primary]
+                self._storage[primary][block.block_id] = block
+                # Additional replicas are *copied over the network* from the
+                # primary — this is what makes replicating private data
+                # visibly unsafe in the byte accounting.
+                other = [n for n in nodes if n != primary]
+                for replica_node in other[: n_replicas - 1]:
+                    with self.network.tracer.span(
+                        "hdfs.replicate",
+                        kind="hdfs",
+                        node=primary,
+                        block_id=block.block_id,
+                        dst=replica_node,
+                        size_bytes=size,
+                    ):
+                        self.network.send(
+                            primary, replica_node, payload, kind="hdfs-replication"
+                        )
+                    self._storage[replica_node][block.block_id] = block
+                    replicas.append(replica_node)
+                placement.append(replicas)
+                self.network.metrics.increment("hdfs.blocks_written", 1)
 
         self._placement[name] = placement
         if private:
@@ -192,6 +205,11 @@ class SimulatedHdfs:
         network (tagged ``hdfs-remote-read``) — and is refused outright
         for private files, enforcing the paper's trust assumption that
         raw data never leaves its owner.
+
+        Emits ``hdfs.local_reads`` plus an ``hdfs.local_read`` trace
+        event for local reads, or ``hdfs.remote_reads`` plus an
+        ``hdfs.remote_read`` span (wrapping the network transfer) for
+        remote ones.
         """
         placement = self._require_file(name)
         if not 0 <= index < len(placement):
@@ -202,6 +220,9 @@ class SimulatedHdfs:
         block_id = f"{name}#{index}"
         if reader in replicas:
             self.network.metrics.increment("hdfs.local_reads", 1)
+            self.network.tracer.event(
+                "hdfs.local_read", kind="hdfs", node=reader, block_id=block_id
+            )
             return self._storage[reader][block_id].payload
         if name in self._private_files:
             raise HdfsError(
@@ -211,7 +232,10 @@ class SimulatedHdfs:
         source = replicas[0]
         payload = self._storage[source][block_id].payload
         self.network.metrics.increment("hdfs.remote_reads", 1)
-        self.network.send(source, reader, payload, kind="hdfs-remote-read")
+        with self.network.tracer.span(
+            "hdfs.remote_read", kind="hdfs", node=reader, block_id=block_id, src=source
+        ):
+            self.network.send(source, reader, payload, kind="hdfs-remote-read")
         return payload
 
     def blocks_on(self, node_id: str) -> list[str]:

@@ -16,6 +16,27 @@ through a :class:`Network`.  The network
 
 Nodes are identified by opaque string ids and must be registered before
 use; messages are delivered into per-node, per-kind FIFO inboxes.
+
+Observability: byte/message counters are listed in
+``docs/OBSERVABILITY.md``; every :meth:`Network.send` additionally
+records a ``network.send`` trace event (tagged with the wire ``kind``,
+serialized size, and current iteration) on the attached
+:class:`~repro.cluster.tracing.TraceRecorder`.  By default the metrics
+object is a :class:`~repro.cluster.profiling.Profiler`, so counters and
+trace share one registry and one ``snapshot()`` schema.
+
+Example
+-------
+>>> network = Network()
+>>> network.register("a")
+>>> network.register("b")
+>>> message = network.send("a", "b", {"w": [1.0, 2.0]}, kind="consensus")
+>>> network.receive("b", kind="consensus")
+{'w': [1.0, 2.0]}
+>>> network.bytes_sent("consensus") == message.size_bytes
+True
+>>> network.tracer.events[0].attrs["message_kind"]
+'consensus'
 """
 
 from __future__ import annotations
@@ -26,6 +47,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.metrics import MetricRegistry
+from repro.cluster.profiling import Profiler
+from repro.cluster.tracing import TraceRecorder
 from repro.utils.validation import check_positive
 
 __all__ = ["LatencyModel", "Message", "Network", "NetworkError"]
@@ -92,26 +115,40 @@ class Network:
     Parameters
     ----------
     metrics:
-        Shared counter registry; a private one is created if omitted.
+        Shared counter registry; a private
+        :class:`~repro.cluster.profiling.Profiler` (registry + tracer in
+        one) is created if omitted.  Passing a bare ``MetricRegistry``
+        still works — counters are kept, but increments lose their
+        per-iteration trace attribution.
     latency_model:
         Transfer-time model for the simulated clock.
     keep_log:
         Whether to retain the full message log (the adversary view).
         Disable for very long benchmark runs to bound memory.
+    tracer:
+        Explicit :class:`~repro.cluster.tracing.TraceRecorder`;
+        defaults to the one inside ``metrics`` when that is a
+        ``Profiler``, else a fresh recorder.  The network attaches its
+        simulated clock so spans capture simulated-latency durations.
     """
 
     def __init__(
         self,
-        metrics: MetricRegistry | None = None,
+        metrics: MetricRegistry | Profiler | None = None,
         latency_model: LatencyModel | None = None,
         *,
         keep_log: bool = True,
+        tracer: TraceRecorder | None = None,
     ) -> None:
-        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.metrics = metrics if metrics is not None else Profiler()
+        if tracer is None:
+            tracer = getattr(self.metrics, "tracer", None)
+        self.tracer = tracer if tracer is not None else TraceRecorder()
         self.latency_model = latency_model if latency_model is not None else LatencyModel()
         self.keep_log = keep_log
         self.message_log: list[Message] = []
         self.simulated_time_s: float = 0.0
+        self.tracer.sim_clock = lambda: self.simulated_time_s
         self._inboxes: dict[str, dict[str, deque[Message]]] = {}
         self._seq = 0
         self._failed: set[str] = set()
@@ -145,6 +182,11 @@ class Network:
         independent copy for the receiver), counters are updated, the
         simulated clock advances, and the message lands in the receiver's
         inbox for that kind.
+
+        Emits counters ``network.messages``, ``network.messages.<kind>``,
+        ``network.bytes``, ``network.bytes.<kind>`` and one
+        ``network.send`` trace event tagged with ``kind``, the byte
+        count, and the current iteration.
         """
         self._require_registered(src)
         self._require_registered(dst)
@@ -170,7 +212,18 @@ class Network:
         self.metrics.increment(f"network.messages.{kind}", 1)
         self.metrics.increment("network.bytes", message.size_bytes)
         self.metrics.increment(f"network.bytes.{kind}", message.size_bytes)
-        self.simulated_time_s += self.latency_model.transfer_time(message)
+        transfer_s = self.latency_model.transfer_time(message)
+        self.simulated_time_s += transfer_s
+        self.tracer.event(
+            "network.send",
+            kind="network",
+            node=src,
+            src=src,
+            dst=dst,
+            message_kind=kind,
+            size_bytes=message.size_bytes,
+            transfer_sim_s=transfer_s,
+        )
 
         if self.keep_log:
             self.message_log.append(message)
@@ -178,7 +231,11 @@ class Network:
         return message
 
     def broadcast(self, src: str, dsts: list[str], payload: Any, kind: str = "data") -> None:
-        """Send ``payload`` from ``src`` to every node in ``dsts``."""
+        """Send ``payload`` from ``src`` to every node in ``dsts``.
+
+        Emits the same counters and trace events as :meth:`send`, once
+        per destination (``src`` itself is skipped).
+        """
         for dst in dsts:
             if dst != src:
                 self.send(src, dst, payload, kind)

@@ -1,0 +1,126 @@
+"""Unified profiling facade: counters and spans behind one object.
+
+:class:`Profiler` pairs the flat, monotonic
+:class:`~repro.cluster.metrics.MetricRegistry` with a structured
+:class:`~repro.cluster.tracing.TraceRecorder` and exposes both behind
+the registry's own interface — any code written against
+``MetricRegistry`` (every ``network.metrics.increment(...)`` call site)
+works unchanged against a ``Profiler``, but each increment is *also*
+recorded as an iteration-tagged counter sample, which is what makes
+per-round crypto-op breakdowns derivable from a run.
+
+:class:`~repro.cluster.network.Network` constructs a ``Profiler`` by
+default, so the full observability surface is on for every simulated
+run; pass a bare ``MetricRegistry`` to opt out of counter-sample
+attribution (counters still work, per-iteration tables lose the
+crypto-op column).
+
+``snapshot()`` returns the one schema shared by counters and spans —
+see ``docs/OBSERVABILITY.md`` for the field-by-field reference.
+
+Example
+-------
+>>> profiler = Profiler()
+>>> with profiler.iteration(0):
+...     profiler.increment("crypto.masks_generated", 3)
+>>> profiler.get("crypto.masks_generated")
+3.0
+>>> profiler.snapshot()["counters"]
+{'crypto.masks_generated': 3.0}
+>>> profiler.tracer.counter_samples
+[(0, 'crypto.masks_generated', 3.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.metrics import MetricRegistry
+from repro.cluster.tracing import TraceRecorder
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Facade unifying a counter registry and a trace recorder.
+
+    Parameters
+    ----------
+    registry:
+        Counter store; a fresh :class:`MetricRegistry` if omitted.
+    tracer:
+        Span/event store; a fresh :class:`TraceRecorder` if omitted.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        tracer: TraceRecorder | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+
+    # -- MetricRegistry interface (drop-in) -----------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` and record an iteration-tagged sample."""
+        self.registry.increment(name, amount)
+        self.tracer.counter(name, amount)
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.registry.get(name)
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return self.registry.with_prefix(prefix)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of every counter."""
+        return self.registry.as_dict()
+
+    def reset(self) -> None:
+        """Zero all counters *and* drop the recorded trace."""
+        self.registry.reset()
+        self.tracer.clear()
+
+    # -- TraceRecorder interface ----------------------------------------
+
+    def span(self, name: str, **kwargs: Any):
+        """Open a span on the underlying tracer (see :meth:`TraceRecorder.span`)."""
+        return self.tracer.span(name, **kwargs)
+
+    def event(self, name: str, **kwargs: Any) -> None:
+        """Record an instantaneous event on the underlying tracer."""
+        self.tracer.event(name, **kwargs)
+
+    def iteration(self, index: int):
+        """Context manager tagging nested records with iteration ``index``."""
+        return self.tracer.iteration(index)
+
+    # -- unified view ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One schema for the whole run: counters, spans, and costs.
+
+        Returns a dict with keys
+
+        * ``"counters"`` — ``MetricRegistry.as_dict()``;
+        * ``"spans"`` — list of :class:`~repro.cluster.tracing.Span`;
+        * ``"events"`` — list of :class:`~repro.cluster.tracing.TraceEvent`;
+        * ``"iterations"`` — :meth:`TraceRecorder.iteration_costs` rows;
+        * ``"dropped"`` — records discarded past the tracer's cap.
+        """
+        return {
+            "counters": self.registry.as_dict(),
+            "spans": list(self.tracer.spans),
+            "events": list(self.tracer.events),
+            "iterations": self.tracer.iteration_costs(),
+            "dropped": self.tracer.dropped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Profiler(counters={len(self.registry.as_dict())}, "
+            f"spans={len(self.tracer.spans)}, events={len(self.tracer.events)})"
+        )

@@ -1,0 +1,462 @@
+"""Structured tracing for the simulated cluster.
+
+Flat counters (:mod:`repro.cluster.metrics`) answer *how much* — total
+bytes, total crypto ops — but not *when* or *in which iteration* a byte
+moved or a Paillier operation ran.  :class:`TraceRecorder` fills that
+gap with three kinds of structured records, all cheap enough to stay on
+by default:
+
+* **spans** — named intervals with wall-clock *and* simulated-latency
+  durations, parent/child nesting, a node id, an iteration tag, and
+  free-form attributes (e.g. the ADMM residuals attached to a
+  convergence-check span);
+* **events** — instantaneous points, most importantly one
+  ``network.send`` event per message carrying its wire ``kind`` and
+  serialized size;
+* **counter samples** — an ``(iteration, name, amount)`` triple per
+  counter increment routed through a
+  :class:`~repro.cluster.profiling.Profiler`, which is what makes
+  per-iteration crypto-op breakdowns derivable.
+
+Exporters turn a recording into ``.jsonl`` (:meth:`TraceRecorder.to_jsonl`),
+Chrome-trace JSON loadable in ``chrome://tracing`` / Perfetto
+(:meth:`TraceRecorder.to_chrome_trace`), or a per-iteration cost table
+(:meth:`TraceRecorder.iteration_costs`, rendered by
+:func:`cost_table`) whose totals reconcile exactly with the
+:class:`~repro.cluster.metrics.MetricRegistry` counters.
+
+The span schema and every recorded name are documented in
+``docs/OBSERVABILITY.md``.
+
+Example
+-------
+>>> recorder = TraceRecorder()
+>>> with recorder.iteration(0):
+...     with recorder.span("round", kind="round") as outer:
+...         with recorder.span("local_step", node="learner-0") as inner:
+...             pass
+>>> inner.parent_id == outer.span_id
+True
+>>> (outer.iteration, inner.node)
+(0, 'learner-0')
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "TraceRecorder",
+    "cost_table",
+]
+
+
+@dataclass
+class Span:
+    """One named interval in a trace.
+
+    Attributes
+    ----------
+    span_id:
+        Recorder-unique id.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` at top level.
+    name:
+        Dotted span name, e.g. ``"twister.round"`` (the registry of
+        names lives in ``docs/OBSERVABILITY.md``).
+    kind:
+        Coarse category used for grouping/export: ``"round"``, ``"map"``,
+        ``"reduce"``, ``"broadcast"``, ``"crypto"``, ``"hdfs"``,
+        ``"trainer"``, ...
+    node:
+        Simulated node the work ran on (``None`` for driver-level work).
+    iteration:
+        0-based training iteration, or ``None`` outside any round
+        (setup work: HDFS placement, PRG seed exchange, ...).
+    start_wall_s, duration_wall_s:
+        Wall-clock interval, relative to the recorder's origin.
+    start_sim_s, duration_sim_s:
+        Simulated-clock interval (``None`` when no simulated clock is
+        attached); durations count the simulated network transfer time
+        that elapsed inside the span.
+    attrs:
+        Free-form attributes (byte counts, residuals, op counts).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    node: str | None
+    iteration: int | None
+    start_wall_s: float
+    duration_wall_s: float = 0.0
+    start_sim_s: float | None = None
+    duration_sim_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TraceEvent:
+    """One instantaneous point in a trace (e.g. a message send).
+
+    Attributes mirror :class:`Span` minus the durations; ``wall_s`` and
+    ``sim_s`` are the timestamps at which the event was recorded.
+    """
+
+    name: str
+    kind: str
+    node: str | None
+    iteration: int | None
+    wall_s: float
+    sim_s: float | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Records spans, events, and counter samples for one simulated run.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False``, ``span()`` still yields usable handles (so
+        instrumented code needs no guards) but nothing is stored.
+    max_records:
+        Upper bound on stored spans + events + counter samples; once
+        reached, further records are dropped and counted in
+        :attr:`dropped` (bounding memory on very long benchmark runs,
+        like ``Network(keep_log=False)`` does for the message log).
+    sim_clock:
+        Zero-argument callable returning the current simulated time;
+        :class:`~repro.cluster.network.Network` attaches its own clock
+        so spans capture simulated-latency durations.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        max_records: int = 500_000,
+        sim_clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self.sim_clock = sim_clock
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self.counter_samples: list[tuple[int | None, str, float]] = []
+        self.dropped = 0
+        self._origin = time.perf_counter()
+        self._stack: list[int] = []
+        self._next_id = 0
+        self._iteration: int | None = None
+
+    # -- recording ------------------------------------------------------
+
+    @property
+    def current_iteration(self) -> int | None:
+        """Iteration tag applied to new records (``None`` = setup)."""
+        return self._iteration
+
+    @contextmanager
+    def iteration(self, index: int) -> Iterator[None]:
+        """Tag every span/event/counter recorded inside with ``index``."""
+        previous = self._iteration
+        self._iteration = int(index)
+        try:
+            yield
+        finally:
+            self._iteration = previous
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = "span",
+        node: str | None = None,
+        iteration: int | None = None,
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Open a span; yields the mutable :class:`Span` so callers can
+        attach result attributes (e.g. residuals) before it closes."""
+        record = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            kind=kind,
+            node=node,
+            iteration=iteration if iteration is not None else self._iteration,
+            start_wall_s=time.perf_counter() - self._origin,
+            start_sim_s=self.sim_clock() if self.sim_clock is not None else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(record.span_id)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.duration_wall_s = (
+                time.perf_counter() - self._origin - record.start_wall_s
+            )
+            if record.start_sim_s is not None and self.sim_clock is not None:
+                record.duration_sim_s = self.sim_clock() - record.start_sim_s
+            if self.enabled and not self._full():
+                self.spans.append(record)
+            elif self.enabled:
+                self.dropped += 1
+
+    def event(
+        self,
+        name: str,
+        *,
+        kind: str = "event",
+        node: str | None = None,
+        iteration: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Record an instantaneous event with free-form attributes."""
+        if not self.enabled:
+            return
+        if self._full():
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                name=name,
+                kind=kind,
+                node=node,
+                iteration=iteration if iteration is not None else self._iteration,
+                wall_s=time.perf_counter() - self._origin,
+                sim_s=self.sim_clock() if self.sim_clock is not None else None,
+                attrs=dict(attrs),
+            )
+        )
+
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        """Record one counter increment tagged with the current iteration.
+
+        Called by :meth:`repro.cluster.profiling.Profiler.increment`;
+        these samples are what :meth:`iteration_costs` aggregates into
+        per-iteration crypto-op counts.
+        """
+        if not self.enabled:
+            return
+        if self._full():
+            self.dropped += 1
+            return
+        self.counter_samples.append((self._iteration, name, float(amount)))
+
+    def clear(self) -> None:
+        """Drop all recorded spans/events/samples (keeps configuration)."""
+        self.spans.clear()
+        self.events.clear()
+        self.counter_samples.clear()
+        self.dropped = 0
+        self._stack.clear()
+        self._iteration = None
+
+    def _full(self) -> bool:
+        stored = len(self.spans) + len(self.events) + len(self.counter_samples)
+        return stored >= self.max_records
+
+    # -- aggregation ----------------------------------------------------
+
+    def iteration_costs(self) -> list[dict[str, Any]]:
+        """Aggregate the trace into one cost row per iteration.
+
+        Returns a list of dicts sorted with the setup row (``iteration
+        is None``) first, each with keys ``iteration``, ``bytes_by_kind``,
+        ``messages_by_kind``, ``total_bytes``, ``total_messages``,
+        ``crypto_ops`` (counter name -> per-iteration total for
+        ``crypto.*`` counters), ``wall_s`` and ``sim_s`` (durations of
+        the ``twister.round`` spans of that iteration).
+
+        Summing any column across rows reproduces the corresponding
+        :class:`~repro.cluster.metrics.MetricRegistry` total — the
+        reconciliation the tests and the ``repro trace`` CLI assert.
+        """
+        rows: dict[int | None, dict[str, Any]] = {}
+
+        def row(iteration: int | None) -> dict[str, Any]:
+            if iteration not in rows:
+                rows[iteration] = {
+                    "iteration": iteration,
+                    "bytes_by_kind": {},
+                    "messages_by_kind": {},
+                    "total_bytes": 0.0,
+                    "total_messages": 0.0,
+                    "crypto_ops": {},
+                    "wall_s": 0.0,
+                    "sim_s": 0.0,
+                }
+            return rows[iteration]
+
+        for event in self.events:
+            if event.name != "network.send":
+                continue
+            entry = row(event.iteration)
+            kind = event.attrs.get("message_kind", "data")
+            size = float(event.attrs.get("size_bytes", 0.0))
+            entry["bytes_by_kind"][kind] = entry["bytes_by_kind"].get(kind, 0.0) + size
+            entry["messages_by_kind"][kind] = entry["messages_by_kind"].get(kind, 0.0) + 1.0
+            entry["total_bytes"] += size
+            entry["total_messages"] += 1.0
+
+        for iteration, name, amount in self.counter_samples:
+            if not name.startswith("crypto."):
+                continue
+            entry = row(iteration)
+            entry["crypto_ops"][name] = entry["crypto_ops"].get(name, 0.0) + amount
+
+        for span in self.spans:
+            if span.name != "twister.round":
+                continue
+            entry = row(span.iteration)
+            entry["wall_s"] += span.duration_wall_s
+            entry["sim_s"] += span.duration_sim_s or 0.0
+
+        return sorted(
+            rows.values(),
+            key=lambda r: (0, 0) if r["iteration"] is None else (1, r["iteration"]),
+        )
+
+    # -- exporters ------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the trace as JSON Lines, one record per line.
+
+        Each line is a JSON object with a ``"type"`` discriminator:
+        ``"span"``, ``"event"``, or ``"counter"``.
+        """
+        lines: list[str] = []
+        for span in self.spans:
+            lines.append(json.dumps({"type": "span", **asdict(span)}, default=str))
+        for event in self.events:
+            lines.append(json.dumps({"type": "event", **asdict(event)}, default=str))
+        for iteration, name, amount in self.counter_samples:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "counter",
+                        "iteration": iteration,
+                        "name": name,
+                        "amount": amount,
+                    }
+                )
+            )
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Export as a Chrome-trace (Trace Event Format) JSON object.
+
+        Load the ``json.dumps`` of the result in ``chrome://tracing`` or
+        https://ui.perfetto.dev.  Each simulated node becomes a process
+        (named via ``process_name`` metadata); spans become complete
+        (``"ph": "X"``) events with microsecond timestamps; trace events
+        become instant (``"ph": "i"``) events.  Span attributes and the
+        iteration tag travel in ``args``.
+        """
+        pids: dict[str, int] = {}
+
+        def pid(node: str | None) -> int:
+            label = node if node is not None else "driver"
+            if label not in pids:
+                pids[label] = len(pids) + 1
+            return pids[label]
+
+        trace_events: list[dict[str, Any]] = []
+        for span in self.spans:
+            args = {"iteration": span.iteration, **span.attrs}
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.kind,
+                    "pid": pid(span.node),
+                    "tid": 1,
+                    "ts": span.start_wall_s * 1e6,
+                    "dur": span.duration_wall_s * 1e6,
+                    "args": {k: _jsonable(v) for k, v in args.items()},
+                }
+            )
+        for event in self.events:
+            args = {"iteration": event.iteration, **event.attrs}
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": event.name,
+                    "cat": event.kind,
+                    "pid": pid(event.node),
+                    "tid": 1,
+                    "ts": event.wall_s * 1e6,
+                    "args": {k: _jsonable(v) for k, v in args.items()},
+                }
+            )
+        metadata = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": process_id,
+                "tid": 1,
+                "args": {"name": label},
+            }
+            for label, process_id in pids.items()
+        ]
+        return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value into something JSON-serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return _jsonable(value.tolist())
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def cost_table(rows: list[dict[str, Any]]) -> tuple[list[str], list[list[Any]]]:
+    """Render :meth:`TraceRecorder.iteration_costs` rows as a table.
+
+    Returns ``(headers, rows)`` with one column per message kind seen in
+    the trace (``bytes:<kind>``), plus total bytes/messages, total
+    crypto ops, and wall/simulated milliseconds — the shape consumed by
+    ``repro trace``, :mod:`repro.experiments.report`, and the
+    distributed-cost benchmark.
+    """
+    kinds = sorted({kind for row in rows for kind in row["bytes_by_kind"]})
+    headers = (
+        ["iteration"]
+        + [f"bytes:{kind}" for kind in kinds]
+        + ["total_bytes", "messages", "crypto_ops", "wall_ms", "sim_ms"]
+    )
+    table: list[list[Any]] = []
+    for row in rows:
+        label = "setup" if row["iteration"] is None else str(row["iteration"])
+        table.append(
+            [label]
+            + [row["bytes_by_kind"].get(kind, 0.0) for kind in kinds]
+            + [
+                row["total_bytes"],
+                row["total_messages"],
+                sum(row["crypto_ops"].values()),
+                row["wall_s"] * 1e3,
+                row["sim_s"] * 1e3,
+            ]
+        )
+    return headers, table

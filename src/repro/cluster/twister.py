@@ -16,6 +16,12 @@ The aggregation step is pluggable (:class:`Aggregator`): the trainers in
 :mod:`repro.core` install the coalition-resistant secure summation
 protocol from :mod:`repro.crypto.secure_sum`, while benchmarks can swap
 in :class:`PlaintextAggregator` to measure the cost of privacy.
+
+Observability: every round the driver emits one ``twister.round`` span
+enclosing ``twister.broadcast``, ``twister.map_wave``,
+``twister.aggregate``, and ``twister.reduce`` child spans, all tagged
+with the iteration index (which also propagates to every message sent
+inside the round) — see ``docs/OBSERVABILITY.md`` for the schema.
 """
 
 from __future__ import annotations
@@ -228,6 +234,11 @@ class IterativeMapReduceDriver:
         The reducer's state is broadcast to all mappers at the start of
         every round (the Twister feedback channel); iteration stops early
         when the reducer reports convergence.
+
+        Emits the ``twister.iterations`` counter and, per round, one
+        ``twister.round`` span with ``twister.broadcast`` /
+        ``twister.map_wave`` / ``twister.aggregate`` / ``twister.reduce``
+        children, each iteration-tagged.
         """
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
@@ -238,38 +249,60 @@ class IterativeMapReduceDriver:
         state = self.reducer.initial_state()
         self.history = []
 
+        tracer = network.tracer
         for iteration in range(max_iterations):
             start_bytes = network.bytes_sent()
             start_time = time.perf_counter()
 
-            # Feedback channel: reducer -> every mapper node.  Mappers act
-            # on the *received* copy (serialization isolation), not on a
-            # shared reference to the reducer's state.
-            mapper_nodes = sorted({ctx.node_id for ctx in self._contexts.values()})
-            network.broadcast(self.reducer_node, mapper_nodes, state, kind="broadcast")
-            node_state = {node: network.receive(node, kind="broadcast") for node in mapper_nodes}
+            with tracer.iteration(iteration), tracer.span(
+                "twister.round", kind="round", node=self.reducer_node
+            ) as round_span:
+                # Feedback channel: reducer -> every mapper node.  Mappers
+                # act on the *received* copy (serialization isolation), not
+                # on a shared reference to the reducer's state.
+                mapper_nodes = sorted({ctx.node_id for ctx in self._contexts.values()})
+                with tracer.span(
+                    "twister.broadcast", kind="broadcast", node=self.reducer_node
+                ):
+                    network.broadcast(
+                        self.reducer_node, mapper_nodes, state, kind="broadcast"
+                    )
+                    node_state = {
+                        node: network.receive(node, kind="broadcast")
+                        for node in mapper_nodes
+                    }
 
-            # Node-side combining: if a node hosts several map tasks their
-            # outputs are summed locally before transport (Hadoop combiner
-            # semantics — no extra network traffic, no extra leakage).
-            outputs: dict[str, dict[str, np.ndarray]] = {}
-            for key, mapper in self._mappers.items():
-                context = self._contexts[key]
-                context.iteration = iteration
-                named = mapper.map(node_state[context.node_id], context)
-                node_out = outputs.setdefault(context.node_id, {})
-                for out_key, value in named.items():
-                    value = np.asarray(value, dtype=float)
-                    if out_key in node_out:
-                        node_out[out_key] = node_out[out_key] + value
-                    else:
-                        node_out[out_key] = value
+                # Node-side combining: if a node hosts several map tasks
+                # their outputs are summed locally before transport (Hadoop
+                # combiner semantics — no extra network traffic, no extra
+                # leakage).
+                outputs: dict[str, dict[str, np.ndarray]] = {}
+                with tracer.span(
+                    "twister.map_wave", kind="map", n_mappers=len(self._mappers)
+                ):
+                    for key, mapper in self._mappers.items():
+                        context = self._contexts[key]
+                        context.iteration = iteration
+                        named = mapper.map(node_state[context.node_id], context)
+                        node_out = outputs.setdefault(context.node_id, {})
+                        for out_key, value in named.items():
+                            value = np.asarray(value, dtype=float)
+                            if out_key in node_out:
+                                node_out[out_key] = node_out[out_key] + value
+                            else:
+                                node_out[out_key] = value
 
-            sums = self.aggregator.aggregate(outputs, self.reducer_node, network)
+                with tracer.span("twister.aggregate", kind="aggregate"):
+                    sums = self.aggregator.aggregate(outputs, self.reducer_node, network)
 
-            reducer_context.iteration = iteration
-            state, converged = self.reducer.reduce(sums, len(self._mappers), reducer_context)
-            network.metrics.increment("twister.iterations", 1)
+                reducer_context.iteration = iteration
+                with tracer.span("twister.reduce", kind="reduce", node=self.reducer_node):
+                    state, converged = self.reducer.reduce(
+                        sums, len(self._mappers), reducer_context
+                    )
+                network.metrics.increment("twister.iterations", 1)
+                round_span.attrs["converged"] = converged
+                round_span.attrs["bytes_delta"] = network.bytes_sent() - start_bytes
 
             self.history.append(
                 IterationResult(

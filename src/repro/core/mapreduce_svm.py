@@ -70,10 +70,20 @@ class HorizontalSVMMapper(IterativeMapper):
             )
 
     def map(self, broadcast: Any, context: MapperContext) -> dict[str, np.ndarray]:
-        """One ADMM local step against the broadcast consensus ``(z, s)``."""
+        """One ADMM local step against the broadcast consensus ``(z, s)``.
+
+        Emits an ``admm.local_step`` span tagged with the mapper's node
+        and iteration.
+        """
         if self.worker is None:
             raise RuntimeError("mapper was never configured")
-        return self.worker.step(broadcast["z"], broadcast["s"])
+        with context.network.tracer.span(
+            "admm.local_step",
+            kind="trainer",
+            node=context.node_id,
+            iteration=context.iteration,
+        ):
+            return self.worker.step(broadcast["z"], broadcast["s"])
 
 
 class HorizontalConsensusReducer(IterativeReducer):
@@ -101,10 +111,24 @@ class HorizontalConsensusReducer(IterativeReducer):
     def reduce(
         self, sums: dict[str, np.ndarray], n_mappers: int, context: ReducerContext
     ) -> tuple[dict[str, Any], bool]:
-        """Average the securely-summed contributions into the new consensus."""
-        z_new = np.asarray(sums["z_contrib"], dtype=float).ravel() / n_mappers
-        s_new = float(np.asarray(sums["s_contrib"]).ravel()[0]) / n_mappers
-        z_change = float(np.sum((z_new - self.z) ** 2) + (s_new - self.s) ** 2)
+        """Average the securely-summed contributions into the new consensus.
+
+        Emits an ``admm.consensus_step`` span and an
+        ``admm.convergence_check`` span carrying ``z_change_sq`` and the
+        convergence verdict as attributes.
+        """
+        tracer = context.network.tracer
+        with tracer.span(
+            "admm.consensus_step", kind="trainer", node=context.node_id
+        ):
+            z_new = np.asarray(sums["z_contrib"], dtype=float).ravel() / n_mappers
+            s_new = float(np.asarray(sums["s_contrib"]).ravel()[0]) / n_mappers
+        with tracer.span(
+            "admm.convergence_check", kind="trainer", node=context.node_id
+        ) as check:
+            z_change = float(np.sum((z_new - self.z) ** 2) + (s_new - self.s) ** 2)
+            converged = self.tol is not None and z_change <= self.tol
+            check.attrs.update(z_change_sq=z_change, tol=self.tol, converged=converged)
         self.z, self.s = z_new, s_new
         self.history.append(
             IterationRecord(
@@ -113,7 +137,6 @@ class HorizontalConsensusReducer(IterativeReducer):
                 primal_residual=float("nan"),
             )
         )
-        converged = self.tol is not None and z_change <= self.tol
         return {"z": self.z, "s": self.s}, converged
 
 
@@ -134,10 +157,20 @@ class VerticalSVMMapper(IterativeMapper):
             )
 
     def map(self, broadcast: Any, context: MapperContext) -> dict[str, np.ndarray]:
-        """One ridge update against the broadcast correction vector."""
+        """One ridge update against the broadcast correction vector.
+
+        Emits an ``admm.local_step`` span tagged with the mapper's node
+        and iteration.
+        """
         if self.worker is None:
             raise RuntimeError("mapper was never configured")
-        return self.worker.step(broadcast["correction"])
+        with context.network.tracer.span(
+            "admm.local_step",
+            kind="trainer",
+            node=context.node_id,
+            iteration=context.iteration,
+        ):
+            return self.worker.step(broadcast["correction"])
 
 
 class VerticalReducerAdapter(IterativeReducer):
@@ -169,8 +202,29 @@ class VerticalReducerAdapter(IterativeReducer):
     def reduce(
         self, sums: dict[str, np.ndarray], n_mappers: int, context: ReducerContext
     ) -> tuple[dict[str, Any], bool]:
-        """Run the hinge-proximal/knapsack consensus step on the share sum."""
-        correction, z_change, primal = self.logic.step(np.asarray(sums["share"], dtype=float))
+        """Run the hinge-proximal/knapsack consensus step on the share sum.
+
+        Emits an ``admm.consensus_step`` span and an
+        ``admm.convergence_check`` span carrying ``z_change_sq`` and the
+        primal residual as attributes.
+        """
+        tracer = context.network.tracer
+        with tracer.span(
+            "admm.consensus_step", kind="trainer", node=context.node_id
+        ):
+            correction, z_change, primal = self.logic.step(
+                np.asarray(sums["share"], dtype=float)
+            )
+        with tracer.span(
+            "admm.convergence_check", kind="trainer", node=context.node_id
+        ) as check:
+            converged = self.tol is not None and z_change <= self.tol
+            check.attrs.update(
+                z_change_sq=z_change,
+                primal_residual=primal,
+                tol=self.tol,
+                converged=converged,
+            )
         self.history.append(
             IterationRecord(
                 iteration=context.iteration,
@@ -178,5 +232,4 @@ class VerticalReducerAdapter(IterativeReducer):
                 primal_residual=primal,
             )
         )
-        converged = self.tol is not None and z_change <= self.tol
         return {"correction": correction, "bias": self.logic.bias}, converged

@@ -35,12 +35,15 @@ True
 
 from __future__ import annotations
 
+import json
 from typing import Any
 
 import numpy as np
 
 from repro.cluster.hdfs import SimulatedHdfs
 from repro.cluster.network import Network
+from repro.cluster.profiling import Profiler
+from repro.cluster.tracing import cost_table
 from repro.cluster.twister import (
     Aggregator,
     IterativeMapReduceDriver,
@@ -146,6 +149,7 @@ class PrivacyPreservingSVM:
         self.qp_max_sweeps = qp_max_sweeps
 
         self.network_: Network | None = None
+        self.profiler_: Profiler | None = None
         self.hdfs_: SimulatedHdfs | None = None
         self.driver_: IterativeMapReduceDriver | None = None
         self.history_: TrainingHistory = TrainingHistory()
@@ -172,7 +176,8 @@ class PrivacyPreservingSVM:
         self._n_learners = len(payloads)
         self._reducer = reducer
 
-        network = Network()
+        profiler = Profiler()
+        network = Network(metrics=profiler)
         hdfs = SimulatedHdfs(network)
         learner_nodes = [f"learner-{m}" for m in range(self._n_learners)]
         for node in learner_nodes:
@@ -190,6 +195,7 @@ class PrivacyPreservingSVM:
         driver.run(_TRAINING_FILE, max_iterations=self.max_iter)
 
         self.network_ = network
+        self.profiler_ = profiler
         self.hdfs_ = hdfs
         self.driver_ = driver
         self.history_ = reducer.history
@@ -324,6 +330,45 @@ class PrivacyPreservingSVM:
             "secure_sum_rounds": network.metrics.get("crypto.secure_sum_rounds"),
             "simulated_time_s": network.simulated_time_s,
         }
+
+    def iteration_cost_table(self) -> tuple[list[str], list[list[Any]]]:
+        """Per-iteration cost breakdown ``(headers, rows)`` from the trace.
+
+        One row per training iteration (plus a leading ``setup`` row for
+        pre-round traffic such as the HDFS load and PRG seed exchange);
+        columns are bytes by message kind, totals, crypto op count, and
+        wall/simulated time.  The column sums reconcile with the
+        :class:`~repro.cluster.metrics.MetricRegistry` totals.
+        """
+        self._require_fitted()
+        return cost_table(self.network_.tracer.iteration_costs())
+
+    def export_trace(self, path: str | None = None, format: str = "chrome") -> str:
+        """Serialize the training trace.
+
+        Parameters
+        ----------
+        path:
+            Optional output file; when given the trace is also written
+            there.
+        format:
+            ``"chrome"`` for Chrome Trace Event JSON (load at
+            ``chrome://tracing`` or in Perfetto) or ``"jsonl"`` for
+            newline-delimited span/event/counter records.
+
+        Returns the serialized trace as a string.
+        """
+        self._require_fitted()
+        if format == "chrome":
+            payload = json.dumps(self.network_.tracer.to_chrome_trace(), indent=1)
+        elif format == "jsonl":
+            payload = self.network_.tracer.to_jsonl()
+        else:
+            raise ValueError(f"format must be 'chrome' or 'jsonl', got {format!r}")
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        return payload
 
     def _require_fitted(self) -> None:
         if self.network_ is None:

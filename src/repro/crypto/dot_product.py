@@ -23,6 +23,7 @@ samples can solve for the other party's raw data — our
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +78,10 @@ def secure_dot_product(
         ``"secure-dot-product"``.
     mask_bits:
         Statistical hiding parameter for Bob's mask ``r``.
+
+    When a network is given, emits one ``crypto.secure_dot_product``
+    span (with the Paillier op count attached) plus the
+    ``crypto.secure_dot_products`` and ``crypto.paillier_ops`` counters.
     """
     a = [int(v) for v in np.asarray(a).ravel()]
     b = [int(v) for v in np.asarray(b).ravel()]
@@ -88,6 +93,25 @@ def secure_dot_product(
     if keypair is None:
         keypair = PaillierKeyPair.generate(seed=rng)
     pk = keypair.public_key
+
+    # One crypto span per protocol run (when a network carries the
+    # ciphertexts); the Paillier op count is attached on completion.
+    span_cm = (
+        network.tracer.span(
+            "crypto.secure_dot_product", kind="crypto", vector_length=len(a)
+        )
+        if network is not None
+        else nullcontext(None)
+    )
+    with span_cm as span:
+        shares = _run_protocol(a, b, keypair, pk, network, alice_id, bob_id, rng, mask_bits)
+        if span is not None:
+            span.attrs["paillier_ops"] = shares.ciphertext_ops + len(a)
+    return shares
+
+
+def _run_protocol(a, b, keypair, pk, network, alice_id, bob_id, rng, mask_bits):
+    """Protocol body of :func:`secure_dot_product` (span-wrapped by caller)."""
 
     # Alice -> Bob: her encrypted vector.
     encrypted_a = pk.encrypt_vector(a, rng=rng)

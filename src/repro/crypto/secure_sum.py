@@ -32,6 +32,13 @@ Two mask modes are provided:
   of Mappers agrees on a seed once, then derives that round's pad from a
   pairwise PRG stream — zero mask traffic after setup, same privacy
   against a semi-honest Reducer.
+
+Observability: each invocation emits a ``crypto.secure_sum`` span whose
+children time the protocol phases (``crypto.mask_exchange`` or
+``crypto.pad_derivation``, ``crypto.masked_shares``,
+``crypto.reduce_sum``); per-op costs are counted by the ``crypto.*``
+counters listed in ``docs/OBSERVABILITY.md``, which a
+:class:`~repro.cluster.profiling.Profiler` attributes to iterations.
 """
 
 from __future__ import annotations
@@ -104,14 +111,20 @@ class SecureSummationProtocol:
 
         The lower-indexed participant of each pair draws a seed and sends
         it to its partner; both then derive identical pad streams.
+
+        Emits one ``crypto.seed_exchange`` span and the
+        ``crypto.mask_seeds_exchanged`` counter per pair.
         """
-        for i, a in enumerate(self.participants):
-            for b in self.participants[i + 1 :]:
-                pair_seed = int(self._rngs[a].integers(0, 2**63 - 1))
-                self.network.send(a, b, pair_seed, kind="mask-seed")
-                received = self.network.receive(b, kind="mask-seed")
-                self._pair_rngs[(a, b)] = np.random.default_rng(received)
-                self.network.metrics.increment("crypto.mask_seeds_exchanged", 1)
+        with self.network.tracer.span(
+            "crypto.seed_exchange", kind="crypto", n_participants=len(self.participants)
+        ):
+            for i, a in enumerate(self.participants):
+                for b in self.participants[i + 1 :]:
+                    pair_seed = int(self._rngs[a].integers(0, 2**63 - 1))
+                    self.network.send(a, b, pair_seed, kind="mask-seed")
+                    received = self.network.receive(b, kind="mask-seed")
+                    self._pair_rngs[(a, b)] = np.random.default_rng(received)
+                    self.network.metrics.increment("crypto.mask_seeds_exchanged", 1)
 
     def sum_vectors(self, values: dict[str, np.ndarray]) -> np.ndarray:
         """Run the protocol once, returning the elementwise sum.
@@ -120,6 +133,13 @@ class SecureSummationProtocol:
         all vectors must have the same length.  The return value equals
         the true sum up to fixed-point rounding (about
         ``2^-fractional_bits`` per term).
+
+        Emits a ``crypto.secure_sum`` span with per-phase child spans,
+        plus the ``crypto.masks_generated`` /
+        ``crypto.masked_shares_sent`` / ``crypto.secure_sum_rounds``
+        counters (one increment per op, so a
+        :class:`~repro.cluster.profiling.Profiler` can attribute them to
+        the enclosing iteration).
         """
         if set(values) != set(self.participants):
             raise ValueError(
@@ -131,46 +151,62 @@ class SecureSummationProtocol:
             raise ValueError(f"all vectors must share one length, got {sorted(lengths)}")
         (n,) = lengths
         metrics = self.network.metrics
+        tracer = self.network.tracer
 
-        encoded = {p: self.codec.encode(values[p]) for p in self.participants}
-        net_mask = {p: [0] * n for p in self.participants}
+        with tracer.span(
+            "crypto.secure_sum",
+            kind="crypto",
+            mode=self.mode,
+            n_participants=len(self.participants),
+            vector_length=n,
+        ):
+            encoded = {p: self.codec.encode(values[p]) for p in self.participants}
+            net_mask = {p: [0] * n for p in self.participants}
 
-        if self.mode == "fresh":
-            # Steps 1-3: generate, exchange, and net out the pairwise masks.
-            for sender in self.participants:
-                for receiver in self.participants:
-                    if receiver == sender:
-                        continue
-                    mask = self.codec.random_vector(n, self._rngs[sender])
-                    metrics.increment("crypto.masks_generated", 1)
-                    self.network.send(sender, receiver, mask, kind="mask")
-                    net_mask[sender] = self.codec.add(net_mask[sender], mask)  # Sed
-            for receiver in self.participants:
-                for _ in range(len(self.participants) - 1):
-                    mask = self.network.receive(receiver, kind="mask")
-                    net_mask[receiver] = self.codec.subtract(net_mask[receiver], mask)  # Rev
-        else:
-            # PRG mode: pads come from the shared pairwise streams; the
-            # lower-indexed partner adds, the higher-indexed one subtracts.
-            for (a, b), pair_rng in self._pair_rngs.items():
-                pad = self.codec.random_vector(n, pair_rng)
-                metrics.increment("crypto.masks_generated", 1)
-                net_mask[a] = self.codec.add(net_mask[a], pad)
-                net_mask[b] = self.codec.subtract(net_mask[b], pad)
+            if self.mode == "fresh":
+                # Steps 1-3: generate, exchange, and net out the pairwise
+                # masks.
+                with tracer.span("crypto.mask_exchange", kind="crypto"):
+                    for sender in self.participants:
+                        for receiver in self.participants:
+                            if receiver == sender:
+                                continue
+                            mask = self.codec.random_vector(n, self._rngs[sender])
+                            metrics.increment("crypto.masks_generated", 1)
+                            self.network.send(sender, receiver, mask, kind="mask")
+                            net_mask[sender] = self.codec.add(net_mask[sender], mask)  # Sed
+                    for receiver in self.participants:
+                        for _ in range(len(self.participants) - 1):
+                            mask = self.network.receive(receiver, kind="mask")
+                            net_mask[receiver] = self.codec.subtract(
+                                net_mask[receiver], mask
+                            )  # Rev
+            else:
+                # PRG mode: pads come from the shared pairwise streams; the
+                # lower-indexed partner adds, the higher-indexed one
+                # subtracts.
+                with tracer.span("crypto.pad_derivation", kind="crypto"):
+                    for (a, b), pair_rng in self._pair_rngs.items():
+                        pad = self.codec.random_vector(n, pair_rng)
+                        metrics.increment("crypto.masks_generated", 1)
+                        net_mask[a] = self.codec.add(net_mask[a], pad)
+                        net_mask[b] = self.codec.subtract(net_mask[b], pad)
 
-        # Step 4: masked shares to the Reducer.
-        for p in self.participants:
-            share = self.codec.add(encoded[p], net_mask[p])
-            self.network.send(p, self.reducer_id, share, kind="masked-share")
-            metrics.increment("crypto.masked_shares_sent", 1)
+            # Step 4: masked shares to the Reducer.
+            with tracer.span("crypto.masked_shares", kind="crypto"):
+                for p in self.participants:
+                    share = self.codec.add(encoded[p], net_mask[p])
+                    self.network.send(p, self.reducer_id, share, kind="masked-share")
+                    metrics.increment("crypto.masked_shares_sent", 1)
 
-        # Step 5: the Reducer sums; the pads cancel telescopically.
-        total = [0] * n
-        for _ in self.participants:
-            share = self.network.receive(self.reducer_id, kind="masked-share")
-            total = self.codec.add(total, share)
-        metrics.increment("crypto.secure_sum_rounds", 1)
-        return self.codec.decode(total)
+            # Step 5: the Reducer sums; the pads cancel telescopically.
+            with tracer.span("crypto.reduce_sum", kind="crypto", node=self.reducer_id):
+                total = [0] * n
+                for _ in self.participants:
+                    share = self.network.receive(self.reducer_id, kind="masked-share")
+                    total = self.codec.add(total, share)
+            metrics.increment("crypto.secure_sum_rounds", 1)
+            return self.codec.decode(total)
 
 
 class SecureSumAggregator(Aggregator):

@@ -117,52 +117,76 @@ class ThresholdSummationProtocol:
             raise ValueError(f"all vectors must share one length, got {sorted(lengths)}")
         (dim,) = lengths
         metrics = self.network.metrics
+        tracer = self.network.tracer
         n = len(self.participants)
 
-        # Step 1: share each element among all participants.
-        # outgoing[src][dst] = list over elements of that dst's share value.
-        incoming: dict[str, list[list[int]]] = {p: [] for p in self.participants}
-        for src in self.participants:
-            encoded = self.codec.encode(values[src])
-            rng = self._rngs[src]
-            per_dst: list[list[int]] = [[] for _ in range(n)]
-            for residue in encoded:
-                shares = shamir_share(residue, n, self.threshold, prime=self.prime, rng=rng)
-                for j, (_, share_value) in enumerate(shares):
-                    per_dst[j].append(share_value)
-                metrics.increment("crypto.shamir_shares_generated", n)
-            for j, dst in enumerate(self.participants):
-                if dst == src:
-                    incoming[dst].append(per_dst[j])
-                else:
-                    self.network.send(src, dst, per_dst[j], kind="threshold-share")
-        for dst in self.participants:
-            for _ in range(n - 1):
-                incoming[dst].append(self.network.receive(dst, kind="threshold-share"))
+        with tracer.span(
+            "crypto.threshold_sum",
+            kind="crypto",
+            n_participants=n,
+            threshold=self.threshold,
+            n_dropouts=len(dropouts),
+            vector_length=dim,
+        ):
+            # Step 1: share each element among all participants.
+            # outgoing[src][dst] = list over elements of that dst's share
+            # value.
+            incoming: dict[str, list[list[int]]] = {p: [] for p in self.participants}
+            with tracer.span("crypto.share_distribution", kind="crypto"):
+                for src in self.participants:
+                    encoded = self.codec.encode(values[src])
+                    rng = self._rngs[src]
+                    per_dst: list[list[int]] = [[] for _ in range(n)]
+                    for residue in encoded:
+                        shares = shamir_share(
+                            residue, n, self.threshold, prime=self.prime, rng=rng
+                        )
+                        for j, (_, share_value) in enumerate(shares):
+                            per_dst[j].append(share_value)
+                        metrics.increment("crypto.shamir_shares_generated", n)
+                    for j, dst in enumerate(self.participants):
+                        if dst == src:
+                            incoming[dst].append(per_dst[j])
+                        else:
+                            self.network.send(src, dst, per_dst[j], kind="threshold-share")
+                for dst in self.participants:
+                    for _ in range(n - 1):
+                        incoming[dst].append(
+                            self.network.receive(dst, kind="threshold-share")
+                        )
 
-        # Step 2/3: alive participants aggregate their shares and forward.
-        for p in alive:
-            aggregated = [0] * dim
-            for share_vec in incoming[p]:
-                aggregated = [
-                    (a + int(s)) % self.prime for a, s in zip(aggregated, share_vec)
-                ]
-            x_coord = self.participants.index(p) + 1
-            self.network.send(
-                p, self.reducer_id, (x_coord, aggregated), kind="threshold-agg-share"
-            )
+            # Step 2/3: alive participants aggregate their shares and
+            # forward.
+            with tracer.span("crypto.share_aggregation", kind="crypto"):
+                for p in alive:
+                    aggregated = [0] * dim
+                    for share_vec in incoming[p]:
+                        aggregated = [
+                            (a + int(s)) % self.prime
+                            for a, s in zip(aggregated, share_vec)
+                        ]
+                    x_coord = self.participants.index(p) + 1
+                    self.network.send(
+                        p, self.reducer_id, (x_coord, aggregated), kind="threshold-agg-share"
+                    )
 
-        # Step 4: reconstruct from the first `threshold` aggregated shares.
-        received: list[tuple[int, list[int]]] = []
-        for _ in alive:
-            received.append(self.network.receive(self.reducer_id, kind="threshold-agg-share"))
-        chosen = received[: self.threshold]
-        totals: list[int] = []
-        for element in range(dim):
-            points = [(x, shares[element]) for x, shares in chosen]
-            totals.append(shamir_reconstruct(points, prime=self.prime))
-        metrics.increment("crypto.threshold_sum_rounds", 1)
-        return self.codec.decode(totals)
+            # Step 4: reconstruct from the first `threshold` aggregated
+            # shares.
+            with tracer.span(
+                "crypto.shamir_reconstruct", kind="crypto", node=self.reducer_id
+            ):
+                received: list[tuple[int, list[int]]] = []
+                for _ in alive:
+                    received.append(
+                        self.network.receive(self.reducer_id, kind="threshold-agg-share")
+                    )
+                chosen = received[: self.threshold]
+                totals: list[int] = []
+                for element in range(dim):
+                    points = [(x, shares[element]) for x, shares in chosen]
+                    totals.append(shamir_reconstruct(points, prime=self.prime))
+            metrics.increment("crypto.threshold_sum_rounds", 1)
+            return self.codec.decode(totals)
 
 
 class ThresholdSumAggregator:

@@ -1,7 +1,7 @@
 """One-shot report generator: every figure and table, as Markdown.
 
 ``python -m repro report --out report.md`` regenerates the complete
-evaluation (all eight Fig. 4 panels, tables S1–S4, both ablations) and
+evaluation (all eight Fig. 4 panels, tables S1–S5, both ablations) and
 writes a self-contained Markdown report with ASCII-rendered curves.
 EXPERIMENTS.md in the repository root was produced from this harness's
 output plus commentary.
@@ -19,6 +19,7 @@ from repro.experiments.tables import (
     centralized_baseline_table,
     crypto_overhead_table,
     format_table,
+    per_iteration_cost_table,
     scalability_table,
 )
 from repro.utils.plotting import ascii_plot
@@ -78,6 +79,11 @@ def generate_report(
             ("Table S2 — aggregation cost per round", crypto_overhead_table, {}),
             ("Table S3 — scalability in M", scalability_table, {"max_iter": 15}),
             ("Table S4 — baseline comparison", baseline_comparison_table, {"max_iter": 50}),
+            (
+                "Table S5 — per-iteration cost breakdown (from the trace)",
+                per_iteration_cost_table,
+                {"max_iter": 10},
+            ),
         ]:
             start = time.perf_counter()
             headers, rows = builder(config, **kwargs)

@@ -20,7 +20,9 @@ MODULES = [
     "repro.cluster.mapreduce",
     "repro.cluster.metrics",
     "repro.cluster.network",
+    "repro.cluster.profiling",
     "repro.cluster.scheduler",
+    "repro.cluster.tracing",
     "repro.cluster.twister",
     "repro.core",
     "repro.core.feature_selection",

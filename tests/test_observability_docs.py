@@ -1,0 +1,53 @@
+"""docs/OBSERVABILITY.md must cover every counter the code emits.
+
+Runs the same extraction as ``tools/check_observability_docs.py`` (the
+CI lint) in-process, so a new ``metrics.increment("new.counter", ...)``
+call site fails the suite until the counter is documented.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "check_observability_docs", ROOT / "tools" / "check_observability_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_emitted_counter_documented():
+    lint = _load_lint()
+    names = lint.counter_names()
+    # Extraction sanity: the well-known counters must be found...
+    assert "network.bytes.<kind>" in names
+    assert "crypto.secure_sum_rounds" in names
+    assert "scheduler.remote_tasks" in names  # conditional-expression call site
+    # ...and every found name must appear in the doc.
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    missing = sorted(name for name in names if name not in doc)
+    assert not missing, f"undocumented counters: {missing}"
+
+
+def test_lint_script_exit_code():
+    lint = _load_lint()
+    assert lint.main() == 0
+
+
+def test_lint_detects_missing_name(monkeypatch, tmp_path, capsys):
+    lint = _load_lint()
+    doc = tmp_path / "OBSERVABILITY.md"
+    doc.write_text("nothing documented here")
+    monkeypatch.setattr(lint, "DOC", doc)
+    assert lint.main() == 1
+    out = capsys.readouterr().out
+    assert "missing from" in out
+
+
+if __name__ == "__main__":
+    sys.exit(0)

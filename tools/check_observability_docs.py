@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Lint: every counter name emitted in ``src/repro`` must be documented.
+
+Scans all ``.increment(`` / ``.counter(`` call sites for dotted string
+literals (f-string placeholders normalize to ``<name>``, so
+``f"network.bytes.{kind}"`` matches the documented
+``network.bytes.<kind>``) and fails if any extracted name does not
+appear in ``docs/OBSERVABILITY.md``.  Run directly or via
+``tests/test_observability_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+_CALL = re.compile(r"\.(?:increment|counter)\(")
+_LITERAL = re.compile(r"""(f?)(["'])([A-Za-z0-9_.{}-]+)\2""")
+
+
+def counter_names() -> dict[str, str]:
+    """Map every counter name emitted in src/repro to its first call site."""
+    names: dict[str, str] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if not _CALL.search(line):
+                continue
+            for _, _, text in _LITERAL.findall(line):
+                if "." not in text:
+                    continue
+                name = re.sub(r"\{([^}]*)\}", r"<\1>", text)
+                names.setdefault(name, f"{path.relative_to(ROOT)}:{lineno}")
+    return names
+
+
+def main() -> int:
+    names = counter_names()
+    if not names:
+        print("error: no counter call sites found — lint regexes are broken")
+        return 1
+    doc = DOC.read_text()
+    missing = {name: site for name, site in names.items() if name not in doc}
+    if missing:
+        print("counter names missing from docs/OBSERVABILITY.md:")
+        for name, site in sorted(missing.items()):
+            print(f"  {name}  (first emitted at {site})")
+        return 1
+    print(f"ok: all {len(names)} emitted counter names are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Audited-exception allowlist for the static-analysis suite.
+
+Pragmas (see :mod:`repro.analysis.source`) silence a rule at one source
+line and live next to the code; the **allowlist** is the centralized,
+reviewable register of exceptions, kept in ``.repro-lint.toml`` at the
+repo root::
+
+    [[allow]]
+    rule = "privacy.raw-data-to-network"
+    path = "src/repro/cluster/hdfs.py"
+    contains = "hdfs-remote-read"          # optional: substring of the line
+    reason = "remote reads of private files are refused earlier"
+
+Every entry **must** carry a non-empty ``reason`` — an allowlist entry
+without a justification defeats the point of auditing.  ``contains``
+pins the entry to lines containing a substring, so entries survive line
+drift without going stale silently; entries that match no finding are
+themselves reported (``lint.unused-allowlist-entry``) so dead
+exceptions get cleaned up.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Allowlist", "AllowlistEntry", "AllowlistError"]
+
+DEFAULT_ALLOWLIST_NAME = ".repro-lint.toml"
+
+
+class AllowlistError(ValueError):
+    """Raised for malformed allowlist files (missing reason, bad keys)."""
+
+
+@dataclass
+class AllowlistEntry:
+    """One audited exception.
+
+    Attributes
+    ----------
+    rule:
+        Rule id the entry suppresses.
+    path:
+        Repo-relative POSIX path the entry applies to.
+    reason:
+        Mandatory human justification.
+    contains:
+        Optional substring the offending source line must contain.
+    """
+
+    rule: str
+    path: str
+    reason: str
+    contains: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry covers ``finding``."""
+        if finding.rule != self.rule or finding.path != self.path:
+            return False
+        if self.contains and self.contains not in finding.source:
+            return False
+        return True
+
+
+@dataclass
+class Allowlist:
+    """The parsed allowlist plus its provenance."""
+
+    entries: list[AllowlistEntry] = field(default_factory=list)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: Path) -> "Allowlist":
+        """Parse a ``.repro-lint.toml`` file, validating every entry."""
+        try:
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise AllowlistError(f"{path}: invalid TOML: {exc}") from exc
+        raw_entries = data.get("allow", [])
+        if not isinstance(raw_entries, list):
+            raise AllowlistError(f"{path}: [[allow]] must be an array of tables")
+        entries: list[AllowlistEntry] = []
+        for index, raw in enumerate(raw_entries):
+            unknown = sorted(set(raw) - {"rule", "path", "reason", "contains"})
+            if unknown:
+                raise AllowlistError(
+                    f"{path}: allow[{index}] has unknown keys {unknown}"
+                )
+            missing = sorted({"rule", "path", "reason"} - set(raw))
+            if missing:
+                raise AllowlistError(
+                    f"{path}: allow[{index}] is missing required keys {missing}"
+                )
+            if not str(raw["reason"]).strip():
+                raise AllowlistError(
+                    f"{path}: allow[{index}] must give a non-empty reason — "
+                    "unaudited exceptions are not allowed"
+                )
+            entries.append(
+                AllowlistEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    reason=str(raw["reason"]).strip(),
+                    contains=str(raw.get("contains", "")),
+                )
+            )
+        return cls(entries=entries, path=str(path))
+
+    def match(self, finding: Finding) -> AllowlistEntry | None:
+        """First entry covering ``finding`` (marking it used), else None."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                entry.used = True
+                return entry
+        return None
+
+    def unused_entries(self) -> list[AllowlistEntry]:
+        """Entries that matched no finding in the last run."""
+        return [entry for entry in self.entries if not entry.used]

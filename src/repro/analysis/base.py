@@ -1,0 +1,110 @@
+"""Pluggable checker API for the static-analysis suite.
+
+A checker declares the :class:`~repro.analysis.findings.Rule` objects it
+can emit and produces :class:`~repro.analysis.findings.Finding` objects
+when run over a :class:`Project` (the collection of parsed modules plus
+the repo root).  Most checkers examine one file at a time — subclass
+:class:`ModuleChecker` and implement ``check_module``; checkers that
+need a *global* view (e.g. the counter/doc drift checker, which compares
+every call site against one document) subclass :class:`Checker` directly
+and implement ``check``.
+
+Checkers must be deterministic: same project state, same findings, in
+the same order — the suite lints itself, so nondeterminism here would
+be self-refuting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.source import ModuleSource
+
+__all__ = ["Checker", "ModuleChecker", "Project"]
+
+
+@dataclass
+class Project:
+    """Everything a lint run looks at.
+
+    Attributes
+    ----------
+    root:
+        Repo root; relative finding paths and doc lookups resolve
+        against it.
+    modules:
+        Parsed source files, in deterministic (sorted-path) order.
+    """
+
+    root: Path
+    modules: list[ModuleSource] = field(default_factory=list)
+
+    def doc_text(self, relpath: str) -> str | None:
+        """Contents of a doc file under the root, or None if absent."""
+        path = self.root / relpath
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+class Checker(abc.ABC):
+    """Base class for all checkers.
+
+    Subclasses set ``name`` (the rule-id prefix) and ``rules`` (every
+    rule they may emit; the engine uses this for ``--list-rules`` and to
+    reject pragmas referencing unknown rules in tests).
+    """
+
+    name: str = ""
+    rules: tuple[Rule, ...] = ()
+
+    @abc.abstractmethod
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield findings for the whole project."""
+
+    def rule(self, rule_id: str) -> Rule:
+        """Look up one of this checker's rules by id."""
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(f"checker {self.name!r} declares no rule {rule_id!r}")
+
+    def finding(
+        self,
+        rule_id: str,
+        module: ModuleSource,
+        lineno: int,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` for ``rule_id`` at ``module:lineno``."""
+        rule = self.rule(rule_id)
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=module.relpath,
+            line=lineno,
+            message=message,
+            hint=hint if hint is not None else rule.hint,
+            source=module.line(lineno),
+        )
+
+
+class ModuleChecker(Checker):
+    """A checker that inspects one module at a time."""
+
+    @abc.abstractmethod
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Run ``check_module`` over every parsable module, in order."""
+        for module in project.modules:
+            if module.tree is None:
+                continue  # the engine reports the syntax error itself
+            yield from self.check_module(module)

@@ -1,0 +1,13 @@
+"""Shipped checkers for the ``repro lint`` static-analysis suite."""
+
+from repro.analysis.checkers.crypto import CryptoMisuseChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.docs import CounterDocsChecker
+from repro.analysis.checkers.privacy import PrivacyTaintChecker
+
+__all__ = [
+    "CryptoMisuseChecker",
+    "DeterminismChecker",
+    "CounterDocsChecker",
+    "PrivacyTaintChecker",
+]

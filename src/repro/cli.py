@@ -17,6 +17,9 @@ Commands
     from the structured trace, verify it reconciles with the counter
     registry, and optionally export Chrome-trace or JSONL files (see
     ``docs/OBSERVABILITY.md``).
+``lint``
+    Run the privacy/determinism static-analysis suite over the source
+    tree (see ``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -92,6 +95,22 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", help="write Chrome-trace JSON here (chrome://tracing)")
     trace.add_argument("--jsonl", help="write the span/event/counter records here")
+
+    lint = sub.add_parser("lint", help="run the privacy/determinism static analysis")
+    lint.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    lint.add_argument("--root", default=".", help="repo root for relative paths "
+                      "and the default allowlist")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the run (CI mode)")
+    lint.add_argument("--format", choices=["text", "json", "github"], default="text")
+    lint.add_argument("--allowlist", help="allowlist TOML (default: "
+                      "<root>/.repro-lint.toml if present)")
+    lint.add_argument("--no-allowlist", action="store_true",
+                      help="ignore any allowlist file")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print pragma/allowlist-suppressed findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
     return parser
 
 
@@ -253,6 +272,50 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Allowlist, AllowlistError, all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<35} {rule.severity.value:<8} {rule.summary}")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"repro lint: root is not a directory: {root}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    allowlist = None
+    if args.allowlist:
+        try:
+            allowlist = Allowlist.load(Path(args.allowlist))
+        except (AllowlistError, OSError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = run_lint(
+            root,
+            paths,
+            allowlist=allowlist,
+            use_default_allowlist=not args.no_allowlist,
+        )
+    except (AllowlistError, FileNotFoundError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.format_json())
+    elif args.format == "github":
+        output = report.format_github()
+        if output:
+            print(output)
+    else:
+        print(report.format_text(show_suppressed=args.show_suppressed))
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -262,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "protocol-demo": _cmd_protocol_demo,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -11,16 +11,29 @@ run non-iterative helper jobs (e.g. distributed Gram-matrix statistics).
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from typing import Any, Callable, Iterable
 
 from repro.cluster.hdfs import SimulatedHdfs
 from repro.cluster.scheduler import LocalityScheduler
 
-__all__ = ["MapReduceJob"]
+__all__ = ["MapReduceJob", "stable_partition_hash"]
 
 MapFn = Callable[[Any], Iterable[tuple[Any, Any]]]
 ReduceFn = Callable[[Any, list[Any]], Any]
+
+
+def stable_partition_hash(key: Any) -> int:
+    """Process-independent hash for shuffle partitioning.
+
+    Builtin ``hash()`` is salted per process for str keys
+    (PYTHONHASHSEED), so using it here would assign keys to different
+    reducers on different runs.  ``repr`` of the key is stable for the
+    hashable primitives MapReduce keys are made of (str, int, tuples
+    thereof), and crc32 of it is stable everywhere.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
 
 
 class MapReduceJob:
@@ -84,7 +97,7 @@ class MapReduceJob:
             for key, values in groups.items():
                 if self.combiner is not None and len(values) > 1:
                     values = [self.combiner(key, values)]
-                target = reducer_nodes[hash(key) % self.n_reducers]
+                target = reducer_nodes[stable_partition_hash(key) % self.n_reducers]
                 partitions[target].extend((key, v) for v in values)
             for target, pairs in partitions.items():
                 network.send(node_id, target, pairs, kind="shuffle")

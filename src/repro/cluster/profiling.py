@@ -33,10 +33,10 @@ Example
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, ContextManager
 
 from repro.cluster.metrics import MetricRegistry
-from repro.cluster.tracing import TraceRecorder
+from repro.cluster.tracing import Span, TraceRecorder
 
 __all__ = ["Profiler"]
 
@@ -86,7 +86,7 @@ class Profiler:
 
     # -- TraceRecorder interface ----------------------------------------
 
-    def span(self, name: str, **kwargs: Any):
+    def span(self, name: str, **kwargs: Any) -> ContextManager[Span]:
         """Open a span on the underlying tracer (see :meth:`TraceRecorder.span`)."""
         return self.tracer.span(name, **kwargs)
 
@@ -94,7 +94,7 @@ class Profiler:
         """Record an instantaneous event on the underlying tracer."""
         self.tracer.event(name, **kwargs)
 
-    def iteration(self, index: int):
+    def iteration(self, index: int) -> ContextManager[None]:
         """Context manager tagging nested records with iteration ``index``."""
         return self.tracer.iteration(index)
 

@@ -216,6 +216,10 @@ def vertical_feature_selection(
     for node, features, block in zip(participants, partition.features, partition.blocks):
         network.register(node)
         local = correlation_scores(block, partition.y)
+        # Per-feature correlation scores are 1 float per feature — an
+        # aggregate statistic, not reconstructable samples.  The secure
+        # variant (secure_vertical_feature_selection) masks even these.
+        # repro-lint: disable=privacy.raw-data-to-network
         network.send(node, "vfs-reducer", local, kind="feature-scores")
         received = network.receive("vfs-reducer", kind="feature-scores")
         scores[features] = received

@@ -28,8 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from repro.cluster.network import Network
-from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.paillier import PaillierKeyPair, PaillierPublicKey
 from repro.utils.rng import as_rng
 
 __all__ = ["DotProductShares", "secure_dot_product"]
@@ -54,8 +56,8 @@ class DotProductShares:
 
 
 def secure_dot_product(
-    a,
-    b,
+    a: ArrayLike,
+    b: ArrayLike,
     *,
     keypair: PaillierKeyPair | None = None,
     network: Network | None = None,
@@ -110,7 +112,17 @@ def secure_dot_product(
     return shares
 
 
-def _run_protocol(a, b, keypair, pk, network, alice_id, bob_id, rng, mask_bits):
+def _run_protocol(
+    a: list[int],
+    b: list[int],
+    keypair: PaillierKeyPair,
+    pk: PaillierPublicKey,
+    network: Network | None,
+    alice_id: str,
+    bob_id: str,
+    rng: np.random.Generator,
+    mask_bits: int,
+) -> DotProductShares:
     """Protocol body of :func:`secure_dot_product` (span-wrapped by caller)."""
 
     # Alice -> Bob: her encrypted vector.

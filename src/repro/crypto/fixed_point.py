@@ -18,7 +18,10 @@ training in ways that are very hard to debug.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["FixedPointCodec"]
 
@@ -71,7 +74,7 @@ class FixedPointCodec:
 
     # -- scalars (Python ints: vectors of arbitrary-precision residues) --
 
-    def encode(self, values) -> list[int]:
+    def encode(self, values: ArrayLike) -> list[int]:
         """Encode a float vector as a list of residues modulo ``q``."""
         arr = np.asarray(values, dtype=float).ravel()
         if not np.all(np.isfinite(arr)):
@@ -90,7 +93,7 @@ class FixedPointCodec:
             out.append(v)
         return out
 
-    def decode(self, residues) -> np.ndarray:
+    def decode(self, residues: Sequence[int]) -> np.ndarray:
         """Decode residues back to floats (centered lift, then unscale)."""
         half = self.modulus >> 1
         out = np.empty(len(residues), dtype=float)
@@ -101,13 +104,13 @@ class FixedPointCodec:
             out[i] = r / self.scale
         return out
 
-    def add(self, a, b) -> list[int]:
+    def add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
         """Elementwise modular addition of two residue vectors."""
         if len(a) != len(b):
             raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
         return [(int(x) + int(y)) % self.modulus for x, y in zip(a, b)]
 
-    def subtract(self, a, b) -> list[int]:
+    def subtract(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
         """Elementwise modular subtraction of two residue vectors."""
         if len(a) != len(b):
             raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -114,7 +115,7 @@ class PaillierCiphertext:
     value: int
     public_key: "PaillierPublicKey"
 
-    def __add__(self, other):
+    def __add__(self, other: "PaillierCiphertext | int | np.integer") -> "PaillierCiphertext":
         pk = self.public_key
         if isinstance(other, PaillierCiphertext):
             if other.public_key.n != pk.n:
@@ -126,7 +127,7 @@ class PaillierCiphertext:
 
     __radd__ = __add__
 
-    def __mul__(self, scalar):
+    def __mul__(self, scalar: "int | np.integer") -> "PaillierCiphertext":
         if not isinstance(scalar, (int, np.integer)):
             return NotImplemented
         pk = self.public_key
@@ -195,7 +196,7 @@ class PaillierPublicKey:
         return self.encrypt_raw(self.encode_signed(int(m)), rng=rng)
 
     def encrypt_vector(
-        self, values, *, rng: np.random.Generator | None = None
+        self, values: Iterable[int], *, rng: np.random.Generator | None = None
     ) -> list[PaillierCiphertext]:
         """Encrypt each entry of an integer vector."""
         rng = as_rng(rng)
@@ -246,6 +247,6 @@ class PaillierKeyPair:
         """Decrypt to a signed integer."""
         return self.public_key.decode_signed(self.decrypt_raw(ciphertext))
 
-    def decrypt_vector(self, ciphertexts) -> list[int]:
+    def decrypt_vector(self, ciphertexts: Iterable[PaillierCiphertext]) -> list[int]:
         """Decrypt a list of ciphertexts to signed integers."""
         return [self.decrypt(c) for c in ciphertexts]

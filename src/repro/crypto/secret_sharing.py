@@ -18,6 +18,8 @@ vectors.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.utils.rng import as_rng
@@ -60,7 +62,7 @@ def additive_share(
     return shares
 
 
-def additive_reconstruct(shares, *, modulus: int = 1 << 128) -> int:
+def additive_reconstruct(shares: Iterable[int], *, modulus: int = 1 << 128) -> int:
     """Recombine additive shares."""
     if not shares:
         raise ValueError("no shares given")
@@ -101,7 +103,9 @@ def shamir_share(
     return shares
 
 
-def shamir_reconstruct(shares, *, prime: int = MERSENNE_PRIME_127) -> int:
+def shamir_reconstruct(
+    shares: Iterable[tuple[int, int]], *, prime: int = MERSENNE_PRIME_127
+) -> int:
     """Recover the secret from >= threshold Shamir shares.
 
     Lagrange interpolation at 0.  Raises on duplicate x coordinates.

@@ -123,7 +123,7 @@ class SecureSummationProtocol:
                     pair_seed = int(self._rngs[a].integers(0, 2**63 - 1))
                     self.network.send(a, b, pair_seed, kind="mask-seed")
                     received = self.network.receive(b, kind="mask-seed")
-                    self._pair_rngs[(a, b)] = np.random.default_rng(received)
+                    self._pair_rngs[(a, b)] = as_rng(received)
                     self.network.metrics.increment("crypto.mask_seeds_exchanged", 1)
 
     def sum_vectors(self, values: dict[str, np.ndarray]) -> np.ndarray:

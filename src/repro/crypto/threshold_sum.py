@@ -215,7 +215,12 @@ class ThresholdSumAggregator:
         self._protocol: ThresholdSummationProtocol | None = None
         self._round = 0
 
-    def aggregate(self, outputs, reducer_id, network):
+    def aggregate(
+        self,
+        outputs: dict[str, dict[str, np.ndarray]],
+        reducer_id: str,
+        network: Network,
+    ) -> dict[str, np.ndarray]:
         """Shamir-aggregate mapper outputs, tolerating scheduled dropouts."""
         participants = sorted(outputs)
         if self._protocol is None or self._protocol.participants != participants:
@@ -240,7 +245,7 @@ class ThresholdSumAggregator:
         dropouts = self.dropout_schedule.get(self._round, set())
         self._round += 1
         summed = self._protocol.sum_vectors(flat, dropouts=dropouts)
-        result = {}
+        result: dict[str, np.ndarray] = {}
         offset = 0
         for key, shape in layout:
             size = int(np.prod(shape)) if shape else 1

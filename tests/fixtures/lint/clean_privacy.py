@@ -1,0 +1,19 @@
+"""Clean fixture: only sanctioned or declassified values touch the wire."""
+
+
+def send_masked(network, node, codec, data):
+    masked = codec.encode(data.X)
+    network.send(node, "reducer", masked, kind="masked-share")
+
+
+def send_metadata(network, node, data):
+    network.send(node, "reducer", data.shape, kind="meta")
+
+
+def send_aggregate(network, node, protocol, values):
+    total = protocol.sum_vectors(values)
+    network.send(node, "reducer", total, kind="sum")
+
+
+def store_private(hdfs, partition):
+    hdfs.put("local.bin", partition["X"], private=True)

@@ -1,0 +1,11 @@
+"""Clean crypto fixture: randomness routed through repro.utils.rng."""
+from repro.utils.rng import as_rng
+
+
+def good_mask(codec, shares, seed):
+    rng = as_rng(seed)
+    out = []
+    for share in shares:
+        mask = codec.random_vector(8, rng)
+        out.append(share + mask)
+    return out

@@ -1,0 +1,21 @@
+"""Known-bad crypto fixture (crypto scope via the directory name)."""
+import random
+
+import numpy as np
+
+
+def bad_rng():
+    return np.random.default_rng(1234)
+
+
+def bad_float(codec, values):
+    encoded = codec.encode(values)
+    return encoded / 2
+
+
+def bad_mask_reuse(codec, rng, shares):
+    mask = codec.random_vector(8, rng)
+    out = []
+    for share in shares:
+        out.append(share + mask)
+    return out

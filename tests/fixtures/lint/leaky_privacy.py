@@ -1,0 +1,22 @@
+"""Known-leaky fixture: raw data reaching network/storage/serialization."""
+import pickle
+
+
+def leak_attribute(network, node, data):
+    network.send(node, "reducer", data.X, kind="grad")
+
+
+def leak_via_alias(network, node, dataset):
+    features = dataset.X
+    batch = []
+    batch.append(features)
+    network.broadcast(node, ["a", "b"], batch, kind="blast")
+
+
+def leak_to_storage(hdfs, partition):
+    rows = partition["X"]
+    hdfs.put("shared.bin", rows)
+
+
+def leak_serialized(block):
+    return pickle.dumps(block.payload)

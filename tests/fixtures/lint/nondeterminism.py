@@ -1,0 +1,28 @@
+"""Known-nondeterministic fixture."""
+import time
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time()
+
+
+def implicit_rng():
+    return np.random.rand(4)
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def set_order():
+    return [n for n in {"a", "b", "c"}]
+
+
+def walk(path):
+    return [p for p in path.glob("*.py")]
+
+
+def salted(key, n):
+    return hash(key) % n

@@ -1,0 +1,14 @@
+"""Fixture: findings silenced by pragmas."""
+
+
+def silenced(network, node, data):
+    network.send(node, "reducer", data.X)  # repro-lint: disable=privacy.raw-data-to-network
+
+
+def silenced_next_line(key, n):
+    # repro-lint: disable=determinism.salted-hash -- process-local only
+    return hash(key) % n
+
+
+def silenced_all(network, node, data):
+    network.send(node, "reducer", data.y)  # repro-lint: disable=all

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.hdfs import SimulatedHdfs
-from repro.cluster.mapreduce import MapReduceJob
+from repro.cluster.mapreduce import MapReduceJob, stable_partition_hash
 from repro.cluster.network import Network
 from repro.cluster.twister import (
     IterativeMapper,
@@ -68,6 +68,15 @@ class TestMapReduceJob:
         _, hdfs = cluster
         with pytest.raises(ValueError):
             MapReduceJob(hdfs, word_count_mapper, sum_reducer, n_reducers=0)
+
+    def test_partition_hash_is_process_independent(self):
+        # Regression: the shuffle used builtin hash(), whose str output is
+        # salted per process (PYTHONHASHSEED), so key->reducer assignment
+        # changed between runs.  The stable digest must yield pinned
+        # values that any Python process reproduces.
+        assert stable_partition_hash("alpha") == 4228598614
+        assert stable_partition_hash(("pair", 3)) == 1508792821
+        assert stable_partition_hash("alpha") != stable_partition_hash("beta")
 
     def test_numeric_aggregation(self, cluster):
         _, hdfs = cluster

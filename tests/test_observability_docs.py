@@ -1,13 +1,19 @@
 """docs/OBSERVABILITY.md must cover every counter the code emits.
 
-Runs the same extraction as ``tools/check_observability_docs.py`` (the
-CI lint) in-process, so a new ``metrics.increment("new.counter", ...)``
-call site fails the suite until the counter is documented.
+The extraction lives in the static-analysis suite
+(``repro.analysis.checkers.docs``); ``tools/check_observability_docs.py``
+is a compatibility shim over it.  Both are exercised here, so a new
+``metrics.increment("new.counter", ...)`` call site fails the suite
+until the counter is documented.
 """
 
 import importlib.util
 import sys
 from pathlib import Path
+
+from repro.analysis import Project, run_lint
+from repro.analysis.checkers.docs import CounterDocsChecker
+from repro.analysis.source import ModuleSource
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -47,6 +53,31 @@ def test_lint_detects_missing_name(monkeypatch, tmp_path, capsys):
     assert lint.main() == 1
     out = capsys.readouterr().out
     assert "missing from" in out
+
+
+def test_docs_checker_flags_undocumented_counter(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "OBSERVABILITY.md").write_text("`known.counter`\n")
+    src = tmp_path / "mod.py"
+    src.write_text(
+        'metrics.increment("known.counter", 1)\n'
+        'metrics.increment("rogue.counter", 1)\n'
+    )
+    project = Project(root=tmp_path, modules=[ModuleSource.load(src, tmp_path)])
+    findings = list(CounterDocsChecker().check(project))
+    assert [(f.rule, f.line) for f in findings] == [("docs.undocumented-counter", 2)]
+    assert "rogue.counter" in findings[0].message
+
+
+def test_docs_checker_part_of_default_lint(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "OBSERVABILITY.md").write_text("registry\n")
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    (src_dir / "mod.py").write_text('metrics.increment("ghost.counter", 1)\n')
+    report = run_lint(tmp_path)
+    assert [f.rule for f in report.findings] == ["docs.undocumented-counter"]
+    assert report.exit_code() == 1
 
 
 if __name__ == "__main__":

@@ -1,17 +1,15 @@
 #!/usr/bin/env python
 """Lint: every counter name emitted in ``src/repro`` must be documented.
 
-Scans all ``.increment(`` / ``.counter(`` call sites for dotted string
-literals (f-string placeholders normalize to ``<name>``, so
-``f"network.bytes.{kind}"`` matches the documented
-``network.bytes.<kind>``) and fails if any extracted name does not
-appear in ``docs/OBSERVABILITY.md``.  Run directly or via
-``tests/test_observability_docs.py``.
+This is now a thin shim over the ``docs`` checker of the static-analysis
+suite (``repro.analysis.checkers.docs``); the extraction logic lives
+there so one driver (``repro lint``) runs the whole static suite.  The
+shim keeps the old entry points — ``counter_names()`` and ``main()`` —
+for scripts and tests that still invoke the tool directly.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
@@ -19,22 +17,19 @@ ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src" / "repro"
 DOC = ROOT / "docs" / "OBSERVABILITY.md"
 
-_CALL = re.compile(r"\.(?:increment|counter)\(")
-_LITERAL = re.compile(r"""(f?)(["'])([A-Za-z0-9_.{}-]+)\2""")
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.checkers.docs import extract_counter_names  # noqa: E402
+from repro.analysis.source import ModuleSource  # noqa: E402
 
 
 def counter_names() -> dict[str, str]:
     """Map every counter name emitted in src/repro to its first call site."""
     names: dict[str, str] = {}
     for path in sorted(SRC.rglob("*.py")):
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if not _CALL.search(line):
-                continue
-            for _, _, text in _LITERAL.findall(line):
-                if "." not in text:
-                    continue
-                name = re.sub(r"\{([^}]*)\}", r"<\1>", text)
-                names.setdefault(name, f"{path.relative_to(ROOT)}:{lineno}")
+        module = ModuleSource.load(path, ROOT)
+        for name, lineno in extract_counter_names(module).items():
+            names.setdefault(name, f"{module.relpath}:{lineno}")
     return names
 
 

@@ -72,6 +72,11 @@ MUTATOR_CALLS = frozenset(
     {"append", "extend", "insert", "add", "update", "setdefault", "push"}
 )
 
+#: Calls that *declassify*: they return metadata/control values (sizes,
+#: type tests), never the data itself — the call-level analogue of
+#: :data:`DECLASSIFIED_ATTRS`.
+DECLASSIFIER_CALLS = frozenset({"len", "range", "isinstance", "issubclass"})
+
 #: Serialization entry points treated as sinks (``module.function``).
 SERIALIZERS = frozenset(
     {"pickle.dumps", "pickle.dump", "json.dumps", "json.dump",
@@ -129,6 +134,8 @@ class _ScopeTaint:
             name = _call_name(node)
             if name in SANITIZER_CALLS:
                 return False  # sanctioned transform: output is safe
+            if name in DECLASSIFIER_CALLS:
+                return False  # metadata, never the data itself
             if name in SOURCE_CALLS:
                 return True
             # A call is tainted when its receiver or any argument is.

@@ -10,10 +10,14 @@ CLI, the test suite, and CI.  It
    crashing the run),
 3. runs every checker over the :class:`~repro.analysis.base.Project`,
 4. suppresses findings covered by a ``# repro-lint: disable=...``
-   pragma or an allowlist entry (suppressed findings are kept, marked,
-   for auditing), and
+   pragma, an allowlist entry, or a baseline snapshot (suppressed
+   findings are kept, marked, for auditing), and
 5. reports allowlist entries that matched nothing
    (``lint.unused-allowlist-entry``) so dead exceptions are cleaned up.
+
+With a :class:`~repro.analysis.cache.LintCache`, the whole run is
+keyed on its observable inputs and served from the previous result
+when nothing changed.
 
 Exit-code policy lives in :meth:`LintReport.exit_code`: ERROR findings
 always fail; WARNING findings fail only under ``--strict``.
@@ -30,6 +34,8 @@ from repro.analysis.allowlist import (
     Allowlist,
 )
 from repro.analysis.base import Checker, Project
+from repro.analysis.baseline import Baseline
+from repro.analysis.cache import LintCache
 from repro.analysis.findings import Finding, Rule, Severity
 from repro.analysis.source import ModuleSource
 
@@ -53,14 +59,18 @@ ENGINE_RULES = (
 
 
 def default_checkers() -> list[Checker]:
-    """Fresh instances of the four shipped checkers, in reporting order."""
+    """Fresh instances of the six shipped checkers, in reporting order."""
     from repro.analysis.checkers.crypto import CryptoMisuseChecker
     from repro.analysis.checkers.determinism import DeterminismChecker
     from repro.analysis.checkers.docs import CounterDocsChecker
     from repro.analysis.checkers.privacy import PrivacyTaintChecker
+    from repro.analysis.checkers.protocol import ProtocolInvariantChecker
+    from repro.analysis.interproc import InterproceduralTaintChecker
 
     return [
         PrivacyTaintChecker(),
+        InterproceduralTaintChecker(),
+        ProtocolInvariantChecker(),
         CryptoMisuseChecker(),
         DeterminismChecker(),
         CounterDocsChecker(),
@@ -84,6 +94,11 @@ class LintReport:
     suppressed: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: int = 0
+    #: Every rule the run could have emitted (drives SARIF metadata).
+    rules: list[Rule] = field(default_factory=list)
+    #: "hit" when served from the result cache, "miss" after a cached
+    #: run, "" when no cache was in play.
+    cache_status: str = ""
 
     def errors(self) -> list[Finding]:
         """Active findings with ERROR severity."""
@@ -121,11 +136,14 @@ class LintReport:
                     f"{finding.path}:{finding.line}: suppressed "
                     f"({finding.suppressed_by}) [{finding.rule}] {finding.message}"
                 )
-        lines.append(
+        summary = (
             f"{len(self.errors())} error(s), {len(self.warnings())} warning(s), "
             f"{len(self.suppressed)} suppressed, {self.files_checked} file(s) "
             f"checked, {self.rules_run} rule(s)"
         )
+        if self.cache_status:
+            summary += f" [cache {self.cache_status}]"
+        lines.append(summary)
         return "\n".join(lines)
 
     def format_json(self) -> str:
@@ -159,6 +177,89 @@ class LintReport:
             )
         return "\n".join(lines)
 
+    def format_sarif(self) -> str:
+        """SARIF 2.1.0 document (``--format sarif``) for code-scanning UIs.
+
+        Active findings become ``results``; pragma/allowlist/baseline
+        suppressed findings are included with a ``suppressions`` entry so
+        scanners show them as reviewed rather than silently dropping
+        them.  Interprocedural traces map onto ``codeFlows``.
+        """
+        rules = sorted(self.rules, key=lambda rule: rule.id)
+        rule_index = {rule.id: i for i, rule in enumerate(rules)}
+
+        def location(path: str, line: int, text: str = "") -> dict:
+            entry: dict = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": max(line, 1)},
+                }
+            }
+            if text:
+                entry["message"] = {"text": text}
+            return entry
+
+        def result(finding: Finding) -> dict:
+            entry: dict = {
+                "ruleId": finding.rule,
+                "level": finding.severity.value,
+                "message": {"text": finding.message},
+                "locations": [location(finding.path, finding.line)],
+            }
+            if finding.rule in rule_index:
+                entry["ruleIndex"] = rule_index[finding.rule]
+            if finding.trace:
+                flow_locations = []
+                for step in finding.trace:
+                    site, _, description = step.partition(" ")
+                    path, _, line_text = site.rpartition(":")
+                    line = int(line_text) if line_text.isdigit() else 1
+                    flow_locations.append(
+                        {"location": location(path, line, description)}
+                    )
+                entry["codeFlows"] = [
+                    {"threadFlows": [{"locations": flow_locations}]}
+                ]
+            if finding.suppressed_by is not None:
+                kind = "inSource" if finding.suppressed_by == "pragma" else "external"
+                entry["suppressions"] = [
+                    {"kind": kind, "justification": finding.suppressed_by}
+                ]
+            return entry
+
+        document = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "docs/STATIC_ANALYSIS.md",
+                            "rules": [
+                                {
+                                    "id": rule.id,
+                                    "shortDescription": {"text": rule.summary},
+                                    "help": {"text": rule.hint},
+                                    "defaultConfiguration": {
+                                        "level": rule.severity.value
+                                    },
+                                }
+                                for rule in rules
+                            ],
+                        }
+                    },
+                    "results": [
+                        result(f) for f in [*self.findings, *self.suppressed]
+                    ],
+                }
+            ],
+        }
+        return json.dumps(document, indent=2)
+
 
 def _collect_files(paths: list[Path]) -> list[Path]:
     """All .py files under ``paths`` (files kept as-is), sorted, deduped."""
@@ -181,6 +282,8 @@ def run_lint(
     checkers: list[Checker] | None = None,
     allowlist: Allowlist | None = None,
     use_default_allowlist: bool = True,
+    baseline: Baseline | None = None,
+    cache: LintCache | None = None,
 ) -> LintReport:
     """Lint ``paths`` (default: ``root/src``) and return the report.
 
@@ -193,12 +296,19 @@ def run_lint(
     paths:
         Files or directories to lint.
     checkers:
-        Checker instances to run (defaults to the four shipped ones).
+        Checker instances to run (defaults to the six shipped ones).
     allowlist:
         Pre-loaded allowlist; overrides the default lookup.
     use_default_allowlist:
         When True and ``allowlist`` is None, load
         ``root/.repro-lint.toml`` if it exists.
+    baseline:
+        Known findings to suppress (diff mode, ``--baseline``);
+        suppressed occurrences carry ``suppressed_by="baseline"``.
+    cache:
+        Whole-run result cache (``--cache``).  A hit skips the run
+        entirely; any change to the linted files, the rule set, the
+        allowlist, the baseline, or the checker-read docs misses.
     """
     root = root.resolve()
     if paths is None:
@@ -209,12 +319,39 @@ def run_lint(
         default_path = root / DEFAULT_ALLOWLIST_NAME
         if default_path.is_file():
             allowlist = Allowlist.load(default_path)
+    if baseline is not None:
+        baseline = baseline.fresh()
+
+    collected = _collect_files(list(paths))
+    run_rules = all_rules(checkers)
+
+    cache_key: str | None = None
+    if cache is not None:
+        cache_key = cache.key_for(
+            root=root,
+            files=collected,
+            rule_ids=[rule.id for rule in run_rules],
+            extra_paths=[
+                Path(allowlist.path) if allowlist is not None else None,
+                Path(baseline.path) if baseline is not None and baseline.path else None,
+            ],
+        )
+        payload = cache.lookup(cache_key)
+        if payload is not None:
+            return LintReport(
+                findings=LintCache.decode_findings(payload, "findings"),
+                suppressed=LintCache.decode_findings(payload, "suppressed"),
+                files_checked=int(payload["files_checked"]),  # type: ignore[arg-type]
+                rules_run=int(payload["rules_run"]),  # type: ignore[arg-type]
+                rules=run_rules,
+                cache_status="hit",
+            )
 
     engine_rules = {rule.id: rule for rule in ENGINE_RULES}
     project = Project(root=root)
     raw_findings: list[Finding] = []
 
-    for file_path in _collect_files(list(paths)):
+    for file_path in collected:
         module = ModuleSource.load(file_path, root)
         project.modules.append(module)
         if module.tree is None:
@@ -244,6 +381,9 @@ def run_lint(
         if allowlist is not None and allowlist.match(finding) is not None:
             suppressed.append(replace(finding, suppressed_by="allowlist"))
             continue
+        if baseline is not None and baseline.consume(finding):
+            suppressed.append(replace(finding, suppressed_by="baseline"))
+            continue
         active.append(finding)
 
     if allowlist is not None:
@@ -264,9 +404,14 @@ def run_lint(
             )
 
     n_rules = len(ENGINE_RULES) + sum(len(checker.rules) for checker in checkers)
-    return LintReport(
+    report = LintReport(
         findings=sorted(active, key=Finding.sort_key),
         suppressed=sorted(suppressed, key=Finding.sort_key),
         files_checked=len(project.modules),
         rules_run=n_rules,
+        rules=run_rules,
+        cache_status="miss" if cache is not None else "",
     )
+    if cache is not None and cache_key is not None:
+        cache.store(cache_key, LintCache.encode_report(report))
+    return report

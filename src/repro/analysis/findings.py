@@ -74,9 +74,14 @@ class Finding:
         Fix suggestion (defaults to the rule's hint).
     source:
         The offending source line, stripped (for text reports).
+    trace:
+        Optional source→sink path for interprocedural findings: each
+        step is ``"path:line description"``, outermost (the sink) first,
+        the taint origin last.  Empty for single-site findings.
     suppressed_by:
-        ``None`` for active findings; ``"pragma"`` or ``"allowlist"``
-        when the occurrence was audited away (kept for reporting).
+        ``None`` for active findings; ``"pragma"``, ``"allowlist"`` or
+        ``"baseline"`` when the occurrence was audited away (kept for
+        reporting).
     """
 
     rule: str
@@ -86,6 +91,7 @@ class Finding:
     message: str
     hint: str = ""
     source: str = ""
+    trace: tuple[str, ...] = ()
     suppressed_by: str | None = field(default=None, compare=False)
 
     def sort_key(self) -> tuple[str, int, str]:
@@ -102,5 +108,25 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
             "source": self.source,
+            "trace": list(self.trace),
             "suppressed_by": self.suppressed_by,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the result cache)."""
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+            source=str(data.get("source", "")),
+            trace=tuple(str(step) for step in data.get("trace", ())),  # type: ignore[union-attr]
+            suppressed_by=(
+                str(data["suppressed_by"])
+                if data.get("suppressed_by") is not None
+                else None
+            ),
+        )

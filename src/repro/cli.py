@@ -102,7 +102,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       "and the default allowlist")
     lint.add_argument("--strict", action="store_true",
                       help="warnings also fail the run (CI mode)")
-    lint.add_argument("--format", choices=["text", "json", "github"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "github", "sarif"],
+                      default="text")
     lint.add_argument("--allowlist", help="allowlist TOML (default: "
                       "<root>/.repro-lint.toml if present)")
     lint.add_argument("--no-allowlist", action="store_true",
@@ -111,6 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also print pragma/allowlist-suppressed findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="suppress findings recorded in this baseline "
+                      "snapshot; only new findings are reported")
+    lint.add_argument("--write-baseline", metavar="PATH",
+                      help="snapshot the run's active findings to PATH "
+                      "and exit 0")
+    lint.add_argument("--cache", action="store_true",
+                      help="reuse the previous run's result when nothing "
+                      "changed (<root>/.repro-lint-cache.json)")
+    lint.add_argument("--cache-path", metavar="PATH",
+                      help="cache file location (implies --cache)")
     return parser
 
 
@@ -275,7 +287,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import Allowlist, AllowlistError, all_rules, run_lint
+    from repro.analysis import (
+        Allowlist,
+        AllowlistError,
+        Baseline,
+        BaselineError,
+        LintCache,
+        all_rules,
+        run_lint,
+    )
+    from repro.analysis.cache import DEFAULT_CACHE_NAME
 
     if args.list_rules:
         for rule in all_rules():
@@ -294,16 +315,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except (AllowlistError, OSError) as exc:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    cache = None
+    if args.cache or args.cache_path:
+        cache_path = Path(args.cache_path) if args.cache_path else root / DEFAULT_CACHE_NAME
+        cache = LintCache(cache_path)
     try:
         report = run_lint(
             root,
             paths,
             allowlist=allowlist,
             use_default_allowlist=not args.no_allowlist,
+            baseline=baseline,
+            cache=cache,
         )
     except (AllowlistError, FileNotFoundError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).write(Path(args.write_baseline))
+        print(
+            f"baseline with {len(report.findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
 
     if args.format == "json":
         print(report.format_json())
@@ -311,6 +353,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         output = report.format_github()
         if output:
             print(output)
+    elif args.format == "sarif":
+        print(report.format_sarif())
     else:
         print(report.format_text(show_suppressed=args.show_suppressed))
     return report.exit_code(strict=args.strict)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.network import Network
+from repro.core.partitioning import VerticalPartition
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.crypto.secure_sum import SecureSummationProtocol
 from repro.data.dataset import Dataset
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 
-def correlation_scores(X, y) -> np.ndarray:
+def correlation_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
     """|Pearson correlation| of each feature with the label (centralized).
 
     Constant features score 0.  This is the reference the secure
@@ -60,7 +61,14 @@ def correlation_scores(X, y) -> np.ndarray:
     return _scores_from_sums(float(n), sx, sxx, float(sy), syy, sxy)
 
 
-def _scores_from_sums(n, sx, sxx, sy, syy, sxy) -> np.ndarray:
+def _scores_from_sums(
+    n: float,
+    sx: np.ndarray,
+    sxx: np.ndarray,
+    sy: float,
+    syy: float,
+    sxy: np.ndarray,
+) -> np.ndarray:
     cov = sxy - sx * sy / n
     var_x = sxx - sx * sx / n
     var_y = syy - sy * sy / n
@@ -172,7 +180,7 @@ def secure_feature_selection(
 
 
 def vertical_feature_selection(
-    partition,
+    partition: VerticalPartition,
     n_features: int,
     *,
     network: Network | None = None,

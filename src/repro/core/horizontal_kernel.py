@@ -85,9 +85,9 @@ class HorizontalKernelWorker:
 
     def __init__(
         self,
-        X,
-        y,
-        landmarks,
+        X: np.ndarray,
+        y: np.ndarray,
+        landmarks: np.ndarray,
         *,
         kernel: Kernel,
         C: float = 50.0,
@@ -187,7 +187,7 @@ class HorizontalKernelWorker:
         )
         return a, c, self.b
 
-    def local_decision_function(self, X) -> np.ndarray:
+    def local_decision_function(self, X: np.ndarray) -> np.ndarray:
         """Scores ``f(x) = K(x,X_m) a + K(x,X_g) c + b`` (local model)."""
         X = check_matrix(X, "X")
         a, c, b = self.representer_coefficients()
@@ -326,7 +326,7 @@ class HorizontalKernelSVM:
         self.consensus_bias_ = s
         return self
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Scores under the ``eval_learner``'s local model.
 
         The consensus lives in the reduced landmark space; actual
@@ -337,10 +337,10 @@ class HorizontalKernelSVM:
             raise RuntimeError("model must be fit before use")
         return self.workers_[self.eval_learner].local_decision_function(X)
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on ``(X, y)``."""
         return accuracy(check_labels(y, "y"), self.predict(X))

@@ -68,8 +68,8 @@ class HorizontalLinearWorker:
 
     def __init__(
         self,
-        X,
-        y,
+        X: np.ndarray,
+        y: np.ndarray,
         *,
         C: float = 50.0,
         rho: float = 100.0,
@@ -144,7 +144,7 @@ class HorizontalLinearWorker:
         }
         return self.last_output
 
-    def local_decision_function(self, X) -> np.ndarray:
+    def local_decision_function(self, X: np.ndarray) -> np.ndarray:
         """Scores under this learner's *local* model ``(w_m, b_m)``."""
         X = check_matrix(X, "X")
         return X @ self.w + self.b
@@ -283,18 +283,18 @@ class HorizontalLinearSVM:
         self.consensus_bias_ = s
         return self
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Scores under the consensus model ``(z, s)``."""
         if self.consensus_weights_ is None:
             raise RuntimeError("model must be fit before use")
         X = check_matrix(X, "X")
         return X @ self.consensus_weights_ + self.consensus_bias_
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels under the consensus model."""
         scores = self.decision_function(X)
         return np.where(scores >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy of the consensus model."""
         return accuracy(check_labels(y, "y"), self.predict(X))

@@ -54,8 +54,8 @@ class LogisticWorker:
 
     def __init__(
         self,
-        X,
-        y,
+        X: np.ndarray,
+        y: np.ndarray,
         *,
         rho: float = 10.0,
         newton_tol: float = 1e-10,
@@ -81,7 +81,7 @@ class LogisticWorker:
         target = np.concatenate([u, [t]])
         Xa = np.hstack([X, np.ones((X.shape[0], 1))])
 
-        def grad_hess(th):
+        def grad_hess(th: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             margins = y * (Xa @ th)
             sigma = 1.0 / (1.0 + np.exp(np.clip(margins, -500, 500)))
             grad = -(Xa.T @ (y * sigma)) + rho * (th - target)
@@ -96,7 +96,7 @@ class LogisticWorker:
             step = np.linalg.solve(hess, grad)
             # Damping: halve until the objective decreases (the penalized
             # objective is strongly convex, so full steps almost always work).
-            def objective(th):
+            def objective(th: np.ndarray) -> float:
                 margins = y * (Xa @ th)
                 return float(
                     np.logaddexp(0.0, -margins).sum()
@@ -218,22 +218,22 @@ class HorizontalLogisticRegression:
         self.consensus_bias_ = s
         return self
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Consensus log-odds scores."""
         if self.consensus_weights_ is None:
             raise RuntimeError("model must be fit before use")
         X = check_matrix(X, "X")
         return X @ self.consensus_weights_ + self.consensus_bias_
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """P(y = +1 | x) under the consensus model."""
         scores = self.decision_function(X)
         return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on ``(X, y)``."""
         return accuracy(check_labels(y, "y"), self.predict(X))

@@ -108,7 +108,7 @@ class VerticalPartition:
     def n_samples(self) -> int:
         return self.blocks[0].shape[0]
 
-    def restrict(self, selected) -> "VerticalPartition":
+    def restrict(self, selected: np.ndarray) -> "VerticalPartition":
         """A new partition keeping only the ``selected`` global columns.
 
         Each learner drops its unselected columns; learners left with no
@@ -132,7 +132,7 @@ class VerticalPartition:
             raise ValueError("restriction leaves fewer than 2 learners with features")
         return VerticalPartition(features=features, blocks=blocks, y=self.y.copy())
 
-    def split_features(self, X) -> list[np.ndarray]:
+    def split_features(self, X: np.ndarray) -> list[np.ndarray]:
         """Split a new design matrix (e.g. test data) the same way."""
         X = np.asarray(X, dtype=float)
         total = sum(f.size for f in self.features)

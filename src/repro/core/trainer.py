@@ -266,7 +266,7 @@ class PrivacyPreservingSVM:
         mappers = [self.driver_._mappers[key] for key in sorted(self.driver_._mappers)]
         return [m.worker for m in mappers]
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Joint decision scores for new points ``X``.
 
         * horizontal linear: the consensus hyperplane ``(z, s)``;
@@ -288,11 +288,11 @@ class PrivacyPreservingSVM:
             scores += worker.score_share(block)
         return scores + self._reducer.logic.bias
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on ``(X, y)``."""
         return accuracy(check_labels(y, "y"), self.predict(X))
 

@@ -51,7 +51,7 @@ class VerticalKernelWorker:
         ADMM penalty, shared.
     """
 
-    def __init__(self, X, *, kernel: Kernel, rho: float = 100.0) -> None:
+    def __init__(self, X: np.ndarray, *, kernel: Kernel, rho: float = 100.0) -> None:
         self.X = check_matrix(X, "X")
         self.kernel = kernel
         self.rho = check_positive(rho, "rho")
@@ -77,7 +77,7 @@ class VerticalKernelWorker:
         self.share = self._K @ self.alpha
         return {"share": self.share}
 
-    def score_share(self, X_test) -> np.ndarray:
+    def score_share(self, X_test: np.ndarray) -> np.ndarray:
         """This learner's contribution ``K(x_m, X_m) alpha_m`` to test scores."""
         X_test = check_matrix(X_test, "X_test")
         if X_test.shape[1] != self.X.shape[1]:
@@ -168,17 +168,17 @@ class VerticalKernelSVM:
             scores += worker.score_share(block)
         return scores + self.reducer_.bias
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Joint additive-kernel scores across all learners."""
         if self.partition_ is None or self.reducer_ is None:
             raise RuntimeError("model must be fit before use")
         blocks = self.partition_.split_features(check_matrix(X, "X"))
         return self._scores_from_blocks(blocks)
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on ``(X, y)``."""
         return accuracy(check_labels(y, "y"), self.predict(X))

@@ -54,7 +54,7 @@ class VerticalLinearWorker:
         ADMM penalty, shared.
     """
 
-    def __init__(self, X, *, rho: float = 100.0) -> None:
+    def __init__(self, X: np.ndarray, *, rho: float = 100.0) -> None:
         self.X = check_matrix(X, "X")
         self.rho = check_positive(rho, "rho")
         n, k = self.X.shape
@@ -79,7 +79,7 @@ class VerticalLinearWorker:
         self.share = self.X @ self.w
         return {"share": self.share}
 
-    def score_share(self, X_test) -> np.ndarray:
+    def score_share(self, X_test: np.ndarray) -> np.ndarray:
         """This learner's contribution ``X_test w_m`` to test scores."""
         X_test = check_matrix(X_test, "X_test")
         if X_test.shape[1] != self.X.shape[1]:
@@ -97,7 +97,7 @@ class VerticalConsensusReducer:
     correction and the current bias.
     """
 
-    def __init__(self, y, *, C: float = 50.0, rho: float = 100.0, n_learners: int) -> None:
+    def __init__(self, y: np.ndarray, *, C: float = 50.0, rho: float = 100.0, n_learners: int) -> None:
         self.y = check_labels(y, "y")
         self.C = check_positive(C, "C")
         self.rho = check_positive(rho, "rho")
@@ -238,17 +238,17 @@ class VerticalLinearSVM:
             scores += worker.score_share(block)
         return scores + self.reducer_.bias
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Joint scores: every learner contributes its column block's share."""
         if self.partition_ is None or self.reducer_ is None:
             raise RuntimeError("model must be fit before use")
         blocks = self.partition_.split_features(check_matrix(X, "X"))
         return self._scores_from_blocks(blocks)
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted -1/+1 labels."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on ``(X, y)``."""
         return accuracy(check_labels(y, "y"), self.predict(X))

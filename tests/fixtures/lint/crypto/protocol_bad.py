@@ -1,0 +1,40 @@
+"""Broken masking protocol: every invariant the checker guards is violated.
+
+The received pairwise masks are *added* instead of subtracted (sign
+flip), pad streams are reseeded from local state outside the exchange
+phase, and construction accepts a single participant.
+"""
+
+
+class LeakySummationProtocol:
+    def __init__(self, network, participant_ids, reducer_id, codec, rngs):
+        self.network = network
+        self.participants = list(participant_ids)
+        self.reducer_id = reducer_id
+        self.codec = codec
+        self._rngs = rngs
+        self._pair_rngs = {}
+
+    def sum_vectors(self, values):
+        n = len(values[self.participants[0]])
+        net_mask = {p: [0] * n for p in self.participants}
+        for sender in self.participants:
+            for receiver in self.participants:
+                if receiver == sender:
+                    continue
+                mask = self.codec.random_vector(n, self._rngs[sender])
+                self.network.send(sender, receiver, mask, kind="mask")
+                net_mask[sender] = self.codec.add(net_mask[sender], mask)
+        for receiver in self.participants:
+            for _ in range(len(self.participants) - 1):
+                mask = self.network.receive(receiver, kind="mask")
+                # Sign flip: Rev masks must be subtracted, not added.
+                net_mask[receiver] = self.codec.add(net_mask[receiver], mask)
+        for p in self.participants:
+            share = self.codec.add(values[p], net_mask[p])
+            self.network.send(p, self.reducer_id, share, kind="masked-share")
+
+    def refresh_pads(self, fresh_seed):
+        for i, a in enumerate(self.participants):
+            for b in self.participants[i + 1 :]:
+                self._pair_rngs[(a, b)] = self.codec.stream(fresh_seed)

@@ -1,0 +1,22 @@
+"""Clean fixture: cross-function flows that are sanitized or metadata-only."""
+
+
+def masked_rows(codec, dataset):
+    return codec.encode(dataset.X)
+
+
+def describe(dataset):
+    return dataset.shape
+
+
+def publish_masked(network, node, codec, dataset):
+    network.send(node, "reducer", masked_rows(codec, dataset), kind="masked-share")
+
+
+def publish_meta(network, node, dataset):
+    network.send(node, "reducer", describe(dataset), kind="meta")
+
+
+def summed(network, node, protocol, values):
+    total = protocol.sum_vectors(values)
+    network.send(node, "reducer", total, kind="sum")

@@ -1,0 +1,21 @@
+"""Known-leaky fixture: raw data escapes only through multi-hop call chains."""
+
+
+def fetch_rows(dataset):
+    return dataset.X
+
+
+def collect(dataset):
+    return fetch_rows(dataset)
+
+
+def publish(network, node, dataset):
+    network.send(node, "reducer", collect(dataset), kind="grad")
+
+
+def ship(network, node, payload):
+    network.send(node, "reducer", payload, kind="grad")
+
+
+def relay(network, node, dataset):
+    ship(network, node, dataset.y)

@@ -24,7 +24,8 @@ __all__ = ["CryptoMisuseChecker", "is_crypto_scope"]
 
 #: Calls whose results live in the modular/ciphertext domain.
 CIPHER_PRODUCERS = frozenset(
-    {"encode", "random_vector", "shamir_share", "additive_share",
+    {"encode", "encode_array", "random_vector", "random_vector_array",
+     "zeros_array", "shamir_share", "additive_share",
      "encrypt", "encrypt_raw", "encrypt_vector"}
 )
 
@@ -32,7 +33,9 @@ CIPHER_PRODUCERS = frozenset(
 CIPHER_PRESERVING = frozenset({"add", "subtract"})
 
 #: Mask/pad generators (for the reuse-across-rounds rule).
-MASK_GENERATORS = frozenset({"random_vector", "_rand_field_element"})
+MASK_GENERATORS = frozenset(
+    {"random_vector", "random_vector_array", "_rand_field_element"}
+)
 
 _RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
 

@@ -61,7 +61,8 @@ DECLASSIFIED_ATTRS = frozenset(
 #: fixed-point masking, secret sharing, Paillier encryption, and the
 #: secure aggregation protocols (whose outputs are sums by construction).
 SANITIZER_CALLS = frozenset(
-    {"encode", "add", "subtract", "random_vector",
+    {"encode", "encode_array", "add", "subtract",
+     "random_vector", "random_vector_array", "zeros_array",
      "shamir_share", "additive_share",
      "encrypt", "encrypt_raw", "encrypt_vector",
      "sum_vectors", "aggregate"}

@@ -42,6 +42,7 @@ True
 from __future__ import annotations
 
 import pickle
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -184,7 +185,9 @@ class Network:
         inbox for that kind.
 
         Emits counters ``network.messages``, ``network.messages.<kind>``,
-        ``network.bytes``, ``network.bytes.<kind>`` and one
+        ``network.bytes``, ``network.bytes.<kind>``,
+        ``network.serialize_s`` (wall seconds spent pickling payloads —
+        the payload is serialized exactly once per send) and one
         ``network.send`` trace event tagged with ``kind``, the byte
         count, and the current iteration.
         """
@@ -197,17 +200,23 @@ class Network:
         if src == dst:
             raise NetworkError("a node does not use the network to talk to itself")
 
+        # Serialize exactly once: the same buffer provides the measured
+        # wire size AND the receiver's isolated deep copy.
+        serialize_start = time.perf_counter()
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        received_payload = pickle.loads(blob)
+        serialize_s = time.perf_counter() - serialize_start
         message = Message(
             seq=self._seq,
             src=src,
             dst=dst,
             kind=kind,
-            payload=pickle.loads(blob),
+            payload=received_payload,
             size_bytes=len(blob),
         )
         self._seq += 1
 
+        self.metrics.increment("network.serialize_s", serialize_s)
         self.metrics.increment("network.messages", 1)
         self.metrics.increment(f"network.messages.{kind}", 1)
         self.metrics.increment("network.bytes", message.size_bytes)

@@ -44,6 +44,7 @@ True
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
@@ -153,9 +154,21 @@ class TraceRecorder:
         self.counter_samples: list[tuple[int | None, str, float]] = []
         self.dropped = 0
         self._origin = time.perf_counter()
-        self._stack: list[int] = []
         self._next_id = 0
         self._iteration: int | None = None
+        # Record storage and id allocation are guarded by one lock so a
+        # parallel map wave can emit spans concurrently; span *nesting*
+        # is tracked per thread (a worker inherits its parent span via
+        # :meth:`adopt`, not via the spawning thread's stack).
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # -- recording ------------------------------------------------------
 
@@ -175,6 +188,25 @@ class TraceRecorder:
             self._iteration = previous
 
     @contextmanager
+    def adopt(self, parent_id: int | None) -> Iterator[None]:
+        """Nest this thread's spans under an existing span.
+
+        Worker threads have an empty span stack of their own, so spans
+        they open would otherwise float at top level; the parallel map
+        wave passes its ``twister.map_wave`` span id here so per-mapper
+        spans keep the same parentage as in sequential mode.
+        """
+        if parent_id is None:
+            yield
+            return
+        stack = self._thread_stack()
+        stack.append(int(parent_id))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    @contextmanager
     def span(
         self,
         name: str,
@@ -186,9 +218,13 @@ class TraceRecorder:
     ) -> Iterator[Span]:
         """Open a span; yields the mutable :class:`Span` so callers can
         attach result attributes (e.g. residuals) before it closes."""
+        stack = self._thread_stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         record = Span(
-            span_id=self._next_id,
-            parent_id=self._stack[-1] if self._stack else None,
+            span_id=span_id,
+            parent_id=stack[-1] if stack else None,
             name=name,
             kind=kind,
             node=node,
@@ -197,21 +233,22 @@ class TraceRecorder:
             start_sim_s=self.sim_clock() if self.sim_clock is not None else None,
             attrs=dict(attrs),
         )
-        self._next_id += 1
-        self._stack.append(record.span_id)
+        stack.append(record.span_id)
         try:
             yield record
         finally:
-            self._stack.pop()
+            stack.pop()
             record.duration_wall_s = (
                 time.perf_counter() - self._origin - record.start_wall_s
             )
             if record.start_sim_s is not None and self.sim_clock is not None:
                 record.duration_sim_s = self.sim_clock() - record.start_sim_s
-            if self.enabled and not self._full():
-                self.spans.append(record)
-            elif self.enabled:
-                self.dropped += 1
+            if self.enabled:
+                with self._lock:
+                    if not self._full():
+                        self.spans.append(record)
+                    else:
+                        self.dropped += 1
 
     def event(
         self,
@@ -225,20 +262,20 @@ class TraceRecorder:
         """Record an instantaneous event with free-form attributes."""
         if not self.enabled:
             return
-        if self._full():
-            self.dropped += 1
-            return
-        self.events.append(
-            TraceEvent(
-                name=name,
-                kind=kind,
-                node=node,
-                iteration=iteration if iteration is not None else self._iteration,
-                wall_s=time.perf_counter() - self._origin,
-                sim_s=self.sim_clock() if self.sim_clock is not None else None,
-                attrs=dict(attrs),
-            )
+        record = TraceEvent(
+            name=name,
+            kind=kind,
+            node=node,
+            iteration=iteration if iteration is not None else self._iteration,
+            wall_s=time.perf_counter() - self._origin,
+            sim_s=self.sim_clock() if self.sim_clock is not None else None,
+            attrs=dict(attrs),
         )
+        with self._lock:
+            if self._full():
+                self.dropped += 1
+                return
+            self.events.append(record)
 
     def counter(self, name: str, amount: float = 1.0) -> None:
         """Record one counter increment tagged with the current iteration.
@@ -249,18 +286,20 @@ class TraceRecorder:
         """
         if not self.enabled:
             return
-        if self._full():
-            self.dropped += 1
-            return
-        self.counter_samples.append((self._iteration, name, float(amount)))
+        with self._lock:
+            if self._full():
+                self.dropped += 1
+                return
+            self.counter_samples.append((self._iteration, name, float(amount)))
 
     def clear(self) -> None:
         """Drop all recorded spans/events/samples (keeps configuration)."""
-        self.spans.clear()
-        self.events.clear()
-        self.counter_samples.clear()
-        self.dropped = 0
-        self._stack.clear()
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
+            self.counter_samples.clear()
+            self.dropped = 0
+        self._thread_stack().clear()
         self._iteration = None
 
     def _full(self) -> bool:

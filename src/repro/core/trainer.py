@@ -107,6 +107,10 @@ class PrivacyPreservingSVM:
         horizontal kernel scheme (the paper reports learner 1 = index 0).
     seed:
         Seed for landmarks and mask randomness.
+    n_map_workers:
+        Thread count for the driver's map wave (see
+        :class:`~repro.cluster.twister.IterativeMapReduceDriver`);
+        any value yields bit-identical trajectories to sequential mode.
     """
 
     def __init__(
@@ -128,6 +132,7 @@ class PrivacyPreservingSVM:
         seed: int | np.random.Generator | None = 0,
         qp_tol: float = 1e-8,
         qp_max_sweeps: int = 500,
+        n_map_workers: int = 1,
     ) -> None:
         if partitioning not in ("horizontal", "vertical"):
             raise ValueError(f"partitioning must be 'horizontal' or 'vertical', got {partitioning!r}")
@@ -147,6 +152,9 @@ class PrivacyPreservingSVM:
         self.seed = seed
         self.qp_tol = qp_tol
         self.qp_max_sweeps = qp_max_sweeps
+        if n_map_workers < 1:
+            raise ValueError(f"n_map_workers must be >= 1, got {n_map_workers}")
+        self.n_map_workers = int(n_map_workers)
 
         self.network_: Network | None = None
         self.profiler_: Profiler | None = None
@@ -191,6 +199,7 @@ class PrivacyPreservingSVM:
             reducer=reducer,
             aggregator=aggregator,
             reducer_node="reducer",
+            n_map_workers=self.n_map_workers,
         )
         driver.run(_TRAINING_FILE, max_iterations=self.max_iter)
 
@@ -263,8 +272,7 @@ class PrivacyPreservingSVM:
     def _workers(self) -> list[Any]:
         if self.driver_ is None:
             raise RuntimeError("model must be fit before use")
-        mappers = [self.driver_._mappers[key] for key in sorted(self.driver_._mappers)]
-        return [m.worker for m in mappers]
+        return [m.worker for m in self.driver_.mappers()]
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Joint decision scores for new points ``X``.

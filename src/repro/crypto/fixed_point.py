@@ -14,16 +14,235 @@ the rounded inputs as long as the magnitudes stay below
 ``max_magnitude`` — the codec checks this at encode time instead of
 silently wrapping, because a wrapped consensus average would corrupt
 training in ways that are very hard to debug.
+
+Two backends implement the same arithmetic:
+
+* the **legacy list backend** — vectors of arbitrary-precision Python
+  ints (the original API: ``encode`` / ``decode`` / ``add`` /
+  ``subtract`` / ``random_vector`` on ``list[int]``), kept both as the
+  compatibility surface and as the baseline the perf-regression
+  harness compares against;
+* the **vectorized residue-array backend** (:class:`ResidueVector`) —
+  for power-of-two moduli, residues are fixed-width little-endian
+  multi-limb ``uint64`` numpy arrays of shape ``(n, L)`` (``L = 2`` for
+  the default 128-bit group) with carry-propagating vectorized
+  ``add``/``subtract``, batched ``encode``/``decode``, and masks drawn
+  as one ``rng.integers`` block per vector instead of ``n × n_words``
+  scalar Python calls.  Odd (prime) moduli fall back to object-dtype
+  arrays of Python ints, which keeps the arithmetic exact where a
+  fixed limb count cannot.
+
+Both backends are *bit-identical*: every array op reproduces the exact
+integers (and, for ``random_vector``, the exact RNG stream consumption)
+of the legacy path, so protocol transcripts and training trajectories
+do not depend on which backend ran — the property tests in
+``tests/test_crypto_fixed_point_vectorized.py`` pin this.  The blocked
+mask draw depends on the word-consumption pattern of numpy's PCG64
+``Generator.integers``; a one-time runtime probe verifies the pattern
+and silently falls back to the per-element draw if a future numpy
+changes it (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Iterator, Sequence, Union, overload
 
 import numpy as np
 from numpy.typing import ArrayLike
 
-__all__ = ["FixedPointCodec"]
+from repro.utils.rng import as_rng
+
+__all__ = ["FixedPointCodec", "ResidueVector"]
+
+_WORD_BITS = 64
+_WORD_MOD = 1 << _WORD_BITS
+_FULL_MASK = np.uint64(2**64 - 1)
+
+#: Residue-vector operand accepted by the polymorphic codec ops.
+ResidueLike = Union["ResidueVector", Sequence[int]]
+
+
+class _BlockedDrawUnsupported(Exception):
+    """The installed numpy does not expose the expected PCG64 layout."""
+
+
+class ResidueVector:
+    """A vector of residues modulo ``q`` in packed array form.
+
+    Attributes
+    ----------
+    limbs:
+        Either a ``uint64`` array of shape ``(n, L)`` holding each
+        residue as ``L`` little-endian 64-bit limbs (power-of-two
+        moduli), or an object-dtype array of shape ``(n,)`` holding
+        arbitrary-precision Python ints (odd moduli, and the legacy
+        backend).
+    modulus:
+        The group order ``q``; every stored residue is in ``[0, q)``.
+
+    The vector iterates and compares as its Python-int residues, so
+    wire payloads stay inspectable (``[int(v) for v in payload]``) and
+    transcript-equality tests are representation-independent.
+    """
+
+    def __init__(self, limbs: np.ndarray, modulus: int) -> None:
+        self.limbs = limbs
+        self.modulus = modulus
+
+    def __len__(self) -> int:
+        return int(self.limbs.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_ints())
+
+    def __getitem__(self, index: int) -> int:
+        if self.limbs.dtype == object:
+            return int(self.limbs[index])
+        value = 0
+        for i in range(self.limbs.shape[1] - 1, -1, -1):
+            value = (value << _WORD_BITS) | int(self.limbs[index, i])
+        return value
+
+    def to_ints(self) -> list[int]:
+        """The residues as arbitrary-precision Python ints."""
+        if self.limbs.dtype == object:
+            return [int(v) for v in self.limbs]
+        acc: list[int] | None = None
+        for i in range(self.limbs.shape[1] - 1, -1, -1):
+            column = self.limbs[:, i]
+            if acc is None:
+                acc = [int(v) for v in column]
+            else:
+                acc = [(a << _WORD_BITS) | int(v) for a, v in zip(acc, column)]
+        return acc if acc is not None else [0] * len(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResidueVector):
+            return NotImplemented
+        return self.modulus == other.modulus and self.to_ints() == other.to_ints()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResidueVector(n={len(self)}, "
+            f"modulus_bits={self.modulus.bit_length()}, "
+            f"dtype={self.limbs.dtype})"
+        )
+
+
+# -- blocked RNG draws ----------------------------------------------------
+#
+# The legacy mask draw composes each 64-bit word from two Generator
+# calls: ``integers(0, 2**63)`` (one raw PCG64 word, Lemire-reduced to
+# ``raw >> 1``) and ``integers(0, 2)`` (one *half* of a raw word via the
+# bit generator's buffered 32-bit path, bit = half >> 31).  The blocked
+# draw reproduces that stream exactly: it plans which raw words the
+# scalar sequence would consume, pulls them in one
+# ``integers(0, 2**64, size=...)`` call (which bypasses the 32-bit
+# buffer), recombines, and patches the buffer state to what the scalar
+# sequence would have left behind.
+
+_BLOCKED_OK: bool | None = None
+
+
+def _draw_words(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Draw ``count`` 64-bit words exactly as the legacy pair draws would.
+
+    Returns a ``uint64`` array where element ``i`` equals
+    ``(int(rng.integers(0, 2**63)) << 1) | int(rng.integers(0, 2))`` of
+    the ``i``-th legacy pair, and leaves ``rng`` in the exact state the
+    legacy sequence would have left it in (including the bit
+    generator's buffered 32-bit half-word).
+
+    Raises :class:`_BlockedDrawUnsupported` when the bit generator does
+    not expose the PCG64 buffer layout this reconstruction relies on.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.uint64)
+    bit_generator = rng.bit_generator
+    state: Any = bit_generator.state
+    if not isinstance(state, dict) or "has_uint32" not in state or "uinteger" not in state:
+        raise _BlockedDrawUnsupported("bit generator exposes no 32-bit buffer")
+    buffered = int(state["has_uint32"])  # 1 if a high half-word is pending
+    entry_half = int(state["uinteger"])
+
+    index = np.arange(count, dtype=np.int64)
+    # Number of fresh bit-words consumed by draws before draw ``i``: the
+    # bit draws alternate fresh-word / buffered-half starting from the
+    # entry buffer state.
+    fresh_before = (index + (1 - buffered)) // 2
+    value_pos = index + fresh_before
+    fresh = ((index + buffered) % 2) == 0
+    n_fresh = int(np.count_nonzero(fresh))
+    total_words = count + n_fresh
+
+    words = rng.integers(0, _WORD_MOD, size=total_words, dtype=np.uint64)
+    raw_values = words[value_pos]
+
+    halves = np.empty(count, dtype=np.uint64)
+    bit_pos = value_pos + 1  # only meaningful where ``fresh``
+    halves[fresh] = words[bit_pos[fresh]] & np.uint64(0xFFFFFFFF)
+    from_buffer = ~fresh
+    if buffered and count > 0:
+        from_buffer = from_buffer.copy()
+        from_buffer[0] = False
+        halves[0] = np.uint64(entry_half)
+    if np.any(from_buffer):
+        previous = index[from_buffer] - 1
+        halves[from_buffer] = words[bit_pos[previous]] >> np.uint64(32)
+    bits = (halves >> np.uint64(31)) & np.uint64(1)
+
+    # ``integers(0, 2**63)`` keeps the top 63 bits of the raw word, so
+    # the legacy composition (value << 1) | bit is (raw & ~1) | bit.
+    out = (raw_values & ~np.uint64(1)) | bits
+
+    leftover = buffered + 2 * n_fresh - count
+    exit_state = bit_generator.state
+    if leftover == 1 and n_fresh:
+        exit_state["has_uint32"] = 1
+        exit_state["uinteger"] = int(words[int(bit_pos[fresh][-1])] >> np.uint64(32))
+    elif leftover == 1:
+        exit_state["has_uint32"] = 1
+        exit_state["uinteger"] = entry_half
+    else:
+        exit_state["has_uint32"] = 0
+        exit_state["uinteger"] = 0
+    bit_generator.state = exit_state
+    return out
+
+
+def _probe_blocked_draws() -> bool:
+    """One-time check that :func:`_draw_words` reproduces the stream."""
+    try:
+        for warmup_bits in (0, 1):
+            reference = as_rng(0x5EED_B10C)
+            blocked = as_rng(0x5EED_B10C)
+            for _ in range(warmup_bits):  # enter with a buffered half-word
+                if int(reference.integers(0, 2)) != int(blocked.integers(0, 2)):
+                    return False
+            expected = [
+                (int(reference.integers(0, 2**63)) << 1) | int(reference.integers(0, 2))
+                for _ in range(7)
+            ]
+            got = _draw_words(blocked, 7)
+            if [int(v) for v in got] != expected:
+                return False
+            # The streams must stay aligned *after* the block, which
+            # checks the exit buffer patch.
+            for _ in range(3):
+                if int(reference.integers(0, 2**63)) != int(blocked.integers(0, 2**63)):
+                    return False
+                if int(reference.integers(0, 2)) != int(blocked.integers(0, 2)):
+                    return False
+    except Exception:
+        return False
+    return True
+
+
+def _blocked_draws_supported() -> bool:
+    global _BLOCKED_OK
+    if _BLOCKED_OK is None:
+        _BLOCKED_OK = _probe_blocked_draws()
+    return _BLOCKED_OK
 
 
 class FixedPointCodec:
@@ -40,6 +259,15 @@ class FixedPointCodec:
         The largest number of encoded values that will ever be summed
         before decoding (the number of learners ``M`` for secure
         summation).  Determines the overflow-safe magnitude bound.
+    modulus:
+        Explicit (possibly odd) modulus overriding ``modulus_bits`` —
+        e.g. the prime field a Shamir-based aggregator operates in.
+    vectorized:
+        Select the residue-array backend for the ``*_array`` methods
+        (the default).  ``vectorized=False`` keeps the array API but
+        routes every operation through the legacy per-element Python
+        path — the baseline ``benchmarks/bench_hotpaths.py`` measures
+        against.  Both backends produce bit-identical residues.
     """
 
     def __init__(
@@ -49,6 +277,7 @@ class FixedPointCodec:
         *,
         max_terms: int = 1024,
         modulus: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         if fractional_bits < 1:
             raise ValueError(f"fractional_bits must be >= 1, got {fractional_bits}")
@@ -57,8 +286,6 @@ class FixedPointCodec:
         self.fractional_bits = int(fractional_bits)
         self.max_terms = int(max_terms)
         if modulus is not None:
-            # Explicit (possibly odd) modulus — e.g. the prime field a
-            # Shamir-based aggregator operates in.
             if modulus < 4:
                 raise ValueError(f"modulus must be >= 4, got {modulus}")
             self.modulus = int(modulus)
@@ -71,11 +298,177 @@ class FixedPointCodec:
         self.scale: int = 1 << fractional_bits
         # Any single value must satisfy |x| * scale * max_terms < q / 2.
         self.max_magnitude: float = self.modulus / (2.0 * self.scale * self.max_terms)
+        self.vectorized = bool(vectorized)
+        # Limb geometry of the power-of-two fast path.
+        self._power_of_two = self.modulus & (self.modulus - 1) == 0
+        if self._power_of_two:
+            bits = self.modulus.bit_length() - 1
+            self._n_limbs = max(1, (bits + _WORD_BITS - 1) // _WORD_BITS)
+            top_bits = bits - _WORD_BITS * (self._n_limbs - 1)
+            self._top_mask = (
+                _FULL_MASK if top_bits == _WORD_BITS else np.uint64((1 << top_bits) - 1)
+            )
+            self._sign_shift = np.uint64(top_bits - 1)
+        else:
+            self._n_limbs = 0
+            self._top_mask = _FULL_MASK
+            self._sign_shift = np.uint64(0)
 
     # -- scalars (Python ints: vectors of arbitrary-precision residues) --
 
     def encode(self, values: ArrayLike) -> list[int]:
         """Encode a float vector as a list of residues modulo ``q``."""
+        arr = self._check_encodable(values)
+        out: list[int] = []
+        for x in arr:
+            v = int(round(float(x) * self.scale)) % self.modulus
+            out.append(v)
+        return out
+
+    def decode(self, residues: ResidueLike) -> np.ndarray:
+        """Decode residues back to floats (centered lift, then unscale)."""
+        if isinstance(residues, ResidueVector):
+            return self._decode_array(residues)
+        half = self.modulus >> 1
+        out = np.empty(len(residues), dtype=float)
+        for i, r in enumerate(residues):
+            r = int(r) % self.modulus
+            if r >= half:
+                r -= self.modulus
+            out[i] = r / self.scale
+        return out
+
+    @overload
+    def add(self, a: "ResidueVector", b: ResidueLike) -> "ResidueVector": ...
+
+    @overload
+    def add(self, a: Sequence[int], b: "ResidueVector") -> "ResidueVector": ...
+
+    @overload
+    def add(self, a: Sequence[int], b: Sequence[int]) -> list[int]: ...
+
+    def add(self, a: ResidueLike, b: ResidueLike) -> ResidueLike:
+        """Elementwise modular addition of two residue vectors.
+
+        List operands use the legacy Python-int path and return a list;
+        :class:`ResidueVector` operands use the packed backend and
+        return a :class:`ResidueVector`.  The residues are identical
+        either way.
+        """
+        if isinstance(a, ResidueVector) or isinstance(b, ResidueVector):
+            return self._binary_array_op(a, b, subtract=False)
+        if len(a) != len(b):
+            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+        return [(int(x) + int(y)) % self.modulus for x, y in zip(a, b)]
+
+    @overload
+    def subtract(self, a: "ResidueVector", b: ResidueLike) -> "ResidueVector": ...
+
+    @overload
+    def subtract(self, a: Sequence[int], b: "ResidueVector") -> "ResidueVector": ...
+
+    @overload
+    def subtract(self, a: Sequence[int], b: Sequence[int]) -> list[int]: ...
+
+    def subtract(self, a: ResidueLike, b: ResidueLike) -> ResidueLike:
+        """Elementwise modular subtraction of two residue vectors."""
+        if isinstance(a, ResidueVector) or isinstance(b, ResidueVector):
+            return self._binary_array_op(a, b, subtract=True)
+        if len(a) != len(b):
+            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+        return [(int(x) - int(y)) % self.modulus for x, y in zip(a, b)]
+
+    def random_vector(self, n: int, rng: np.random.Generator) -> list[int]:
+        """A uniformly random residue vector (a one-time pad mask)."""
+        return self.random_vector_array(n, rng).to_ints()
+
+    # -- residue-array backend -------------------------------------------
+
+    def zeros_array(self, n: int) -> ResidueVector:
+        """The all-zero residue vector of length ``n`` in packed form."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if self._use_limbs():
+            return ResidueVector(
+                np.zeros((n, self._n_limbs), dtype=np.uint64), self.modulus
+            )
+        return ResidueVector(np.array([0] * n, dtype=object), self.modulus)
+
+    def encode_array(self, values: ArrayLike) -> ResidueVector:
+        """Batched :meth:`encode` returning a packed :class:`ResidueVector`.
+
+        Bit-identical to the legacy path: the scale is a power of two,
+        so ``x * scale`` and the half-to-even rounding are exact float
+        operations, and the limb decomposition slices the (at most
+        53-significant-bit) integral float exactly.
+        """
+        arr = self._check_encodable(values)
+        scaled = np.rint(arr * float(self.scale))
+        if not self._use_limbs():
+            ints = [int(v) % self.modulus for v in scaled]
+            return ResidueVector(np.array(ints, dtype=object), self.modulus)
+        negative = scaled < 0.0
+        magnitude = np.abs(scaled)
+        limbs = np.empty((arr.shape[0], self._n_limbs), dtype=np.uint64)
+        remainder = magnitude
+        for i in range(self._n_limbs):
+            remainder, low = np.divmod(remainder, 2.0**_WORD_BITS)
+            limbs[:, i] = _float_to_uint64(low)
+        if np.any(negative):
+            limbs = np.where(
+                negative[:, None], self._negate_limbs(limbs), limbs
+            )
+        return ResidueVector(limbs, self.modulus)
+
+    def random_vector_array(self, n: int, rng: np.random.Generator) -> ResidueVector:
+        """Batched :meth:`random_vector` consuming the identical RNG stream.
+
+        With the vectorized backend all ``n * n_words`` word draws come
+        from one ``rng.integers`` block (falling back to the per-element
+        loop when the runtime probe rejects the numpy internals); the
+        legacy backend always loops.  Either way the residues and the
+        generator's exit state match the original scalar draw exactly.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        # One extra word keeps the modular-reduction bias below 2^-64
+        # for odd moduli.
+        n_words = (self.modulus_bits + _WORD_BITS - 1) // _WORD_BITS + 1
+        if n == 0:
+            return self.zeros_array(0)
+        words: np.ndarray | None = None
+        if self.vectorized and _blocked_draws_supported():
+            try:
+                words = _draw_words(rng, n * n_words)
+            except _BlockedDrawUnsupported:
+                words = None
+        if words is None:
+            return self._from_ints(self._random_ints(n, n_words, rng))
+        if self._use_limbs():
+            # The composed integer's low ``64 * L`` bits live in the
+            # *last* drawn words (the scalar loop shifts earlier words
+            # up), so limb i is column ``n_words - 1 - i``.
+            grid = words.reshape(n, n_words)
+            limbs = np.empty((n, self._n_limbs), dtype=np.uint64)
+            for i in range(self._n_limbs):
+                limbs[:, i] = grid[:, n_words - 1 - i]
+            limbs[:, -1] &= self._top_mask
+            return ResidueVector(limbs, self.modulus)
+        grid = words.reshape(n, n_words)
+        ints: list[int] = []
+        for row in grid:
+            value = 0
+            for word in row:
+                value = (value << _WORD_BITS) | int(word)
+            ints.append(value % self.modulus)
+        return ResidueVector(np.array(ints, dtype=object), self.modulus)
+
+    # -- internals -------------------------------------------------------
+
+    def _use_limbs(self) -> bool:
+        return self.vectorized and self._power_of_two
+
+    def _check_encodable(self, values: ArrayLike) -> np.ndarray:
         arr = np.asarray(values, dtype=float).ravel()
         if not np.all(np.isfinite(arr)):
             raise ValueError("cannot encode non-finite values")
@@ -87,42 +480,12 @@ class FixedPointCodec:
                 f"{self.max_magnitude:g} for max_terms={self.max_terms}; "
                 f"increase modulus_bits or reduce fractional_bits"
             )
-        out: list[int] = []
-        for x in arr:
-            v = int(round(float(x) * self.scale)) % self.modulus
-            out.append(v)
-        return out
+        return arr
 
-    def decode(self, residues: Sequence[int]) -> np.ndarray:
-        """Decode residues back to floats (centered lift, then unscale)."""
-        half = self.modulus >> 1
-        out = np.empty(len(residues), dtype=float)
-        for i, r in enumerate(residues):
-            r = int(r) % self.modulus
-            if r >= half:
-                r -= self.modulus
-            out[i] = r / self.scale
-        return out
-
-    def add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
-        """Elementwise modular addition of two residue vectors."""
-        if len(a) != len(b):
-            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-        return [(int(x) + int(y)) % self.modulus for x, y in zip(a, b)]
-
-    def subtract(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
-        """Elementwise modular subtraction of two residue vectors."""
-        if len(a) != len(b):
-            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-        return [(int(x) - int(y)) % self.modulus for x, y in zip(a, b)]
-
-    def random_vector(self, n: int, rng: np.random.Generator) -> list[int]:
-        """A uniformly random residue vector (a one-time pad mask)."""
-        if n < 0:
-            raise ValueError(f"n must be non-negative, got {n}")
-        # Compose 64-bit words into uniform integers; one extra word
-        # keeps the modular-reduction bias below 2^-64 for odd moduli.
-        n_words = (self.modulus_bits + 63) // 64 + 1
+    def _random_ints(
+        self, n: int, n_words: int, rng: np.random.Generator
+    ) -> list[int]:
+        """The original per-element, per-word scalar draw."""
         out: list[int] = []
         for _ in range(n):
             value = 0
@@ -131,8 +494,141 @@ class FixedPointCodec:
             out.append(value % self.modulus)
         return out
 
+    def _from_ints(self, residues: Sequence[int]) -> ResidueVector:
+        """Pack already-reduced Python-int residues for this backend."""
+        if not self._use_limbs():
+            return ResidueVector(
+                np.array([int(r) for r in residues], dtype=object), self.modulus
+            )
+        n = len(residues)
+        limbs = np.empty((n, self._n_limbs), dtype=np.uint64)
+        mask = _WORD_MOD - 1
+        for row, residue in enumerate(residues):
+            r = int(residue)
+            for i in range(self._n_limbs):
+                limbs[row, i] = (r >> (_WORD_BITS * i)) & mask
+        return ResidueVector(limbs, self.modulus)
+
+    def _coerce(self, value: ResidueLike) -> ResidueVector:
+        if isinstance(value, ResidueVector):
+            if value.modulus != self.modulus:
+                raise ValueError(
+                    f"residue vector modulus {value.modulus} does not match "
+                    f"codec modulus {self.modulus}"
+                )
+            return value
+        return self._from_ints([int(v) % self.modulus for v in value])
+
+    def _binary_array_op(
+        self, a: ResidueLike, b: ResidueLike, *, subtract: bool
+    ) -> ResidueVector:
+        va = self._coerce(a)
+        vb = self._coerce(b)
+        if len(va) != len(vb):
+            raise ValueError(f"length mismatch: {len(va)} vs {len(vb)}")
+        if va.limbs.dtype != vb.limbs.dtype:  # mixed backends: normalize
+            vb = self._from_ints(vb.to_ints())
+        if va.limbs.dtype == object:
+            if subtract:
+                result = (va.limbs - vb.limbs) % self.modulus
+            else:
+                result = (va.limbs + vb.limbs) % self.modulus
+            return ResidueVector(result, self.modulus)
+        if subtract:
+            return ResidueVector(
+                self._subtract_limbs(va.limbs, vb.limbs), self.modulus
+            )
+        return ResidueVector(self._add_limbs(va.limbs, vb.limbs), self.modulus)
+
+    def _add_limbs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Carry-propagating limb addition modulo ``2^modulus_bits``.
+
+        Per limb the carry out of ``a + b + carry_in`` is at most 1, so
+        two wraparound checks per limb cover it.
+        """
+        out = np.empty_like(a)
+        carry = np.zeros(a.shape[0], dtype=np.uint64)
+        for i in range(a.shape[1]):
+            partial = a[:, i] + b[:, i]
+            overflow_ab = partial < a[:, i]
+            total = partial + carry
+            overflow_carry = total < partial
+            out[:, i] = total
+            carry = (overflow_ab | overflow_carry).astype(np.uint64)
+        out[:, -1] &= self._top_mask
+        return out
+
+    def _subtract_limbs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Borrow-propagating limb subtraction modulo ``2^modulus_bits``."""
+        out = np.empty_like(a)
+        borrow = np.zeros(a.shape[0], dtype=np.uint64)
+        for i in range(a.shape[1]):
+            partial = a[:, i] - b[:, i]
+            underflow_ab = a[:, i] < b[:, i]
+            total = partial - borrow
+            underflow_borrow = partial < borrow
+            out[:, i] = total
+            borrow = (underflow_ab | underflow_borrow).astype(np.uint64)
+        out[:, -1] &= self._top_mask
+        return out
+
+    def _negate_limbs(self, limbs: np.ndarray) -> np.ndarray:
+        """Two's-complement negation modulo ``2^modulus_bits``."""
+        out = ~limbs
+        carry = np.ones(limbs.shape[0], dtype=np.uint64)
+        for i in range(limbs.shape[1]):
+            total = out[:, i] + carry
+            carry = (total < carry).astype(np.uint64)
+            out[:, i] = total
+        out[:, -1] &= self._top_mask
+        return out
+
+    def _decode_array(self, vector: ResidueVector) -> np.ndarray:
+        """Decode a packed vector, bit-identical to the legacy loop.
+
+        Fast path: when every centered magnitude fits one limb, the
+        ``uint64 -> float64`` conversion and the power-of-two unscale
+        are each correctly rounded, which composes to exactly the
+        correctly-rounded ``int / int`` division the legacy path
+        performs.  Multi-limb magnitudes (astronomical masked shares,
+        sums beyond 2^64 ulps) take the exact per-element path instead
+        — composing floats limb-by-limb could double-round.
+        """
+        if vector.modulus != self.modulus:
+            raise ValueError(
+                f"residue vector modulus {vector.modulus} does not match "
+                f"codec modulus {self.modulus}"
+            )
+        limbs = vector.limbs
+        if limbs.dtype == object:
+            return self.decode(vector.to_ints())
+        negative = ((limbs[:, -1] >> self._sign_shift) & np.uint64(1)) == 1
+        magnitude = limbs
+        if np.any(negative):
+            magnitude = np.where(
+                negative[:, None], self._negate_limbs(limbs), limbs
+            )
+        if magnitude.shape[1] > 1 and np.any(magnitude[:, 1:]):
+            return self.decode(vector.to_ints())
+        values = magnitude[:, 0].astype(np.float64) / float(self.scale)
+        return np.where(negative, -values, values)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"FixedPointCodec(fractional_bits={self.fractional_bits}, "
-            f"modulus_bits={self.modulus_bits}, max_terms={self.max_terms})"
+            f"modulus_bits={self.modulus_bits}, max_terms={self.max_terms}, "
+            f"vectorized={self.vectorized})"
         )
+
+
+def _float_to_uint64(values: np.ndarray) -> np.ndarray:
+    """Exact cast of integral floats in ``[0, 2^64)`` to ``uint64``.
+
+    Split at ``2^63`` so the conversion never relies on the C behavior
+    of casting an out-of-``int64``-range float to an unsigned type.
+    """
+    high = values >= 2.0**63
+    if not np.any(high):
+        return values.astype(np.uint64)
+    shifted = np.where(high, values - 2.0**63, values).astype(np.uint64)
+    return shifted + np.where(high, np.uint64(1) << np.uint64(63), np.uint64(0))

@@ -28,6 +28,7 @@ __all__ = [
     "MERSENNE_PRIME_127",
     "additive_reconstruct",
     "additive_share",
+    "shamir_lagrange_weights",
     "shamir_reconstruct",
     "shamir_share",
 ]
@@ -101,6 +102,36 @@ def shamir_share(
             acc = (acc * x + c) % prime
         shares.append((x, acc))
     return shares
+
+
+def shamir_lagrange_weights(
+    xs: Iterable[int], *, prime: int = MERSENNE_PRIME_127
+) -> list[int]:
+    """Lagrange-at-zero weights for the given share x-coordinates.
+
+    Returns ``lambda_i`` such that ``sum_i lambda_i * f(x_i) == f(0)``
+    modulo ``prime`` for any polynomial ``f`` of degree below
+    ``len(xs)``.  Computing the weights once and reusing them across a
+    whole share *vector* turns elementwise reconstruction into a single
+    weighted modular sum (see
+    :class:`~repro.crypto.threshold_sum.ThresholdSummationProtocol`),
+    instead of re-deriving the inverses per element.
+    """
+    xs = [int(x) for x in xs]
+    if not xs:
+        raise ValueError("no share indices given")
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    weights: list[int] = []
+    for i, x_i in enumerate(xs):
+        num, den = 1, 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            num = (num * (-x_j)) % prime
+            den = (den * (x_i - x_j)) % prime
+        weights.append((num * pow(den, -1, prime)) % prime)
+    return weights
 
 
 def shamir_reconstruct(

@@ -160,18 +160,19 @@ class SecureSummationProtocol:
             n_participants=len(self.participants),
             vector_length=n,
         ):
-            encoded = {p: self.codec.encode(values[p]) for p in self.participants}
-            net_mask = {p: [0] * n for p in self.participants}
+            encoded = {p: self.codec.encode_array(values[p]) for p in self.participants}
+            net_mask = {p: self.codec.zeros_array(n) for p in self.participants}
 
             if self.mode == "fresh":
                 # Steps 1-3: generate, exchange, and net out the pairwise
-                # masks.
+                # masks (each mask is one packed residue array; netting
+                # is a vectorized carry-propagating limb op).
                 with tracer.span("crypto.mask_exchange", kind="crypto"):
                     for sender in self.participants:
                         for receiver in self.participants:
                             if receiver == sender:
                                 continue
-                            mask = self.codec.random_vector(n, self._rngs[sender])
+                            mask = self.codec.random_vector_array(n, self._rngs[sender])
                             metrics.increment("crypto.masks_generated", 1)
                             self.network.send(sender, receiver, mask, kind="mask")
                             net_mask[sender] = self.codec.add(net_mask[sender], mask)  # Sed
@@ -187,7 +188,7 @@ class SecureSummationProtocol:
                 # subtracts.
                 with tracer.span("crypto.pad_derivation", kind="crypto"):
                     for (a, b), pair_rng in self._pair_rngs.items():
-                        pad = self.codec.random_vector(n, pair_rng)
+                        pad = self.codec.random_vector_array(n, pair_rng)
                         metrics.increment("crypto.masks_generated", 1)
                         net_mask[a] = self.codec.add(net_mask[a], pad)
                         net_mask[b] = self.codec.subtract(net_mask[b], pad)
@@ -201,7 +202,7 @@ class SecureSummationProtocol:
 
             # Step 5: the Reducer sums; the pads cancel telescopically.
             with tracer.span("crypto.reduce_sum", kind="crypto", node=self.reducer_id):
-                total = [0] * n
+                total = self.codec.zeros_array(n)
                 for _ in self.participants:
                     share = self.network.receive(self.reducer_id, kind="masked-share")
                     total = self.codec.add(total, share)

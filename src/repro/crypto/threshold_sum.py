@@ -28,7 +28,11 @@ import numpy as np
 
 from repro.cluster.network import Network
 from repro.crypto.fixed_point import FixedPointCodec
-from repro.crypto.secret_sharing import MERSENNE_PRIME_127, shamir_reconstruct, shamir_share
+from repro.crypto.secret_sharing import (
+    MERSENNE_PRIME_127,
+    shamir_lagrange_weights,
+    shamir_share,
+)
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = ["ThresholdSumAggregator", "ThresholdSummationProtocol"]
@@ -134,7 +138,7 @@ class ThresholdSummationProtocol:
             incoming: dict[str, list[list[int]]] = {p: [] for p in self.participants}
             with tracer.span("crypto.share_distribution", kind="crypto"):
                 for src in self.participants:
-                    encoded = self.codec.encode(values[src])
+                    encoded = self.codec.encode_array(values[src])
                     rng = self._rngs[src]
                     per_dst: list[list[int]] = [[] for _ in range(n)]
                     for residue in encoded:
@@ -156,22 +160,24 @@ class ThresholdSummationProtocol:
                         )
 
             # Step 2/3: alive participants aggregate their shares and
-            # forward.
+            # forward.  Shamir sharing is linear, so the elementwise sum
+            # of held share vectors — one vectorized modular add per
+            # incoming vector — is a share vector of the summed secret.
             with tracer.span("crypto.share_aggregation", kind="crypto"):
                 for p in alive:
-                    aggregated = [0] * dim
+                    aggregated = self.codec.zeros_array(dim)
                     for share_vec in incoming[p]:
-                        aggregated = [
-                            (a + int(s)) % self.prime
-                            for a, s in zip(aggregated, share_vec)
-                        ]
+                        aggregated = self.codec.add(aggregated, share_vec)
                     x_coord = self.participants.index(p) + 1
                     self.network.send(
                         p, self.reducer_id, (x_coord, aggregated), kind="threshold-agg-share"
                     )
 
             # Step 4: reconstruct from the first `threshold` aggregated
-            # shares.
+            # shares.  The Lagrange-at-zero weights depend only on the
+            # x-coordinates, so they are computed once and applied to the
+            # whole vector as a weighted modular sum — identical residues
+            # to per-element interpolation.
             with tracer.span(
                 "crypto.shamir_reconstruct", kind="crypto", node=self.reducer_id
             ):
@@ -181,10 +187,13 @@ class ThresholdSummationProtocol:
                         self.network.receive(self.reducer_id, kind="threshold-agg-share")
                     )
                 chosen = received[: self.threshold]
-                totals: list[int] = []
-                for element in range(dim):
-                    points = [(x, shares[element]) for x, shares in chosen]
-                    totals.append(shamir_reconstruct(points, prime=self.prime))
+                weights = shamir_lagrange_weights(
+                    [x for x, _ in chosen], prime=self.prime
+                )
+                totals = self.codec.zeros_array(dim)
+                for weight, (_, share_vec) in zip(weights, chosen):
+                    scaled = [(weight * int(s)) % self.prime for s in share_vec]
+                    totals = self.codec.add(totals, scaled)
             metrics.increment("crypto.threshold_sum_rounds", 1)
             return self.codec.decode(totals)
 

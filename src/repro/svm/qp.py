@@ -182,28 +182,51 @@ def solve_box_qp(
 
     grad = H @ x + d
     diag = np.diag(H).copy()
+    # A placeholder divisor where the diagonal is non-positive; those
+    # coordinates take the degenerate branch, never the quotient.
+    diag_safe = np.where(diag > 0.0, diag, 1.0)
+    # Fortran order makes the per-update column axpy contiguous; the
+    # values are identical to C-order columns, so results don't change.
+    H_cols = np.asfortranarray(H)
     residual = projected_gradient_residual(grad, x, lo, hi)
     sweeps = 0
     stalled = 0
 
     while residual > tol and sweeps < max_sweeps:
-        for i in range(n):
-            g_i = grad[i]
-            if diag[i] > 0.0:
-                new_xi = np.clip(x[i] - g_i / diag[i], lo[i], hi[i])
-            else:
-                # Degenerate coordinate: objective is linear in x_i, so
-                # the minimizer sits at a bound (or stays put if g_i = 0).
-                if g_i > 0.0:
-                    new_xi = lo[i]
-                elif g_i < 0.0:
-                    new_xi = hi[i]
-                else:
-                    new_xi = x[i]
-            delta = new_xi - x[i]
-            if delta != 0.0:
-                grad += delta * H[:, i]
-                x[i] = new_xi
+        # One sweep in the exact cyclic order 0..n-1, vectorized: with
+        # the current gradient, every coordinate's closed-form update is
+        # computed in one block; a coordinate whose update is a no-op
+        # (delta == 0 — pinned at a bound, or already at its coordinate
+        # minimum) would not have changed ``grad`` or ``x`` in the
+        # scalar loop either, so jumping straight to the first moving
+        # coordinate is bit-identical.  Only that coordinate's update is
+        # applied (the later candidates are stale once ``grad`` moves),
+        # then the scan resumes after it.  Warm-started ADMM sweeps pin
+        # most coordinates, so sweeps collapse to a few block scans
+        # instead of n Python iterations.
+        start = 0
+        while start < n:
+            tail = slice(start, n)
+            g_tail = grad[tail]
+            candidate = np.clip(
+                x[tail] - g_tail / diag_safe[tail], lo[tail], hi[tail]
+            )
+            # Degenerate coordinates: objective is linear in x_i, so the
+            # minimizer sits at a bound (or stays put if g_i = 0).
+            degenerate = np.where(
+                g_tail > 0.0, lo[tail], np.where(g_tail < 0.0, hi[tail], x[tail])
+            )
+            new_x = np.where(diag[tail] > 0.0, candidate, degenerate)
+            deltas = new_x - x[tail]
+            moved = np.nonzero(deltas)[0]
+            if moved.size == 0:
+                break
+            first = int(moved[0])
+            i = start + first
+            delta = deltas[first]
+            grad += delta * H_cols[:, i]
+            x[i] = new_x[first]
+            start = i + 1
         sweeps += 1
         new_residual = projected_gradient_residual(grad, x, lo, hi)
         # Stall detection: ill-conditioned free-set blocks degrade the

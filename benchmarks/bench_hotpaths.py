@@ -183,12 +183,17 @@ def bench_box_qp(results: list[dict], *, smoke: bool) -> None:
     )
 
 
-def bench_end_to_end(results: list[dict], *, smoke: bool) -> None:
+def bench_end_to_end(
+    results: list[dict], *, smoke: bool, ledger_dir: Path | None = None
+) -> None:
     """Full horizontal-linear secure fit, vectorized vs legacy codec.
 
     Uses a high-dimensional task (the regime the paper's big-data
     setting targets) so the secure-summation rounds — not the tiny
-    per-learner QPs — carry the iteration cost.
+    per-learner QPs — carry the iteration cost.  When ``ledger_dir`` is
+    given, the last fitted model of each backend is persisted to the run
+    ledger (``kind="bench"``) so perf runs are queryable alongside
+    training runs via ``repro runs``.
     """
     print("end-to-end horizontal linear fit:")
     n_features = 256 if smoke else 512
@@ -196,6 +201,8 @@ def bench_end_to_end(results: list[dict], *, smoke: bool) -> None:
     parts = horizontal_partition(dataset, 4, seed=0)
     max_iter = 5 if smoke else 15
     for vectorized in (True, False):
+        last_model: list[PrivacyPreservingSVM] = []
+
         def fit():
             # Fresh aggregator per fit: the adapter caches a protocol
             # bound to one Network, and each fit builds a new one.
@@ -204,7 +211,7 @@ def bench_end_to_end(results: list[dict], *, smoke: bool) -> None:
                 mode="fresh",
                 seed=0,
             )
-            PrivacyPreservingSVM(
+            model = PrivacyPreservingSVM(
                 "horizontal",
                 C=50.0,
                 rho=100.0,
@@ -212,6 +219,7 @@ def bench_end_to_end(results: list[dict], *, smoke: bool) -> None:
                 seed=0,
                 aggregator=aggregator,
             ).fit(parts)
+            last_model[:] = [model]
 
         _record(
             results,
@@ -224,6 +232,12 @@ def bench_end_to_end(results: list[dict], *, smoke: bool) -> None:
             },
             _timeit(fit, repeats=1 if smoke else 2),
         )
+        if ledger_dir is not None and last_model:
+            backend = "vectorized" if vectorized else "legacy"
+            run_id = last_model[0].save_run(
+                str(ledger_dir), kind="bench", label=f"hotpaths/{backend}"
+            )
+            print(f"  bench run recorded: {run_id} ({ledger_dir}/)")
 
 
 def bench_map_wave(results: list[dict], *, smoke: bool) -> None:
@@ -277,6 +291,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
     )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=REPO_ROOT / ".repro-runs",
+        default=None,
+        type=Path,
+        metavar="DIR",
+        help="persist end-to-end bench fits to the run ledger "
+        "(default directory: .repro-runs/)",
+    )
     args = parser.parse_args(argv)
 
     results: list[dict] = []
@@ -284,7 +308,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_codec_kernels(results, smoke=args.smoke)
     bench_box_qp(results, smoke=args.smoke)
     bench_map_wave(results, smoke=args.smoke)
-    bench_end_to_end(results, smoke=args.smoke)
+    bench_end_to_end(results, smoke=args.smoke, ledger_dir=args.ledger)
 
     args.out.write_text(json.dumps(results, indent=1) + "\n")
     print(f"wrote {len(results)} records to {args.out}")

@@ -65,7 +65,29 @@ def _call_kind(call: ast.Call) -> str | None:
 
 
 def _is_mask_receive(call: ast.Call) -> bool:
-    return _call_name(call) == "receive" and _call_kind(call) == "mask"
+    # receive() yields the payload directly; receive_message() yields a
+    # Message envelope whose .payload is the mask (the audited paths use
+    # the envelope form to learn the sender).
+    return _call_name(call) in ("receive", "receive_message") and (
+        _call_kind(call) == "mask"
+    )
+
+
+def _operand_name(node: ast.AST) -> str | None:
+    """The mask-bearing name an arithmetic operand refers to.
+
+    Either the bound name itself (``mask``) or the payload of a bound
+    ``Message`` envelope (``message.payload``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "payload"
+        and isinstance(node.value, ast.Name)
+    ):
+        return node.value.id
+    return None
 
 
 def _assigned_names(node: ast.Assign) -> list[str]:
@@ -130,12 +152,19 @@ class ProtocolInvariantChecker(ModuleChecker):
     def _check_mask_balance(
         self, module: ModuleSource, func: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> Iterator[Finding]:
-        """Each mask-bound name must balance its + and - applications.
+        """The mask-bound names must balance their + and - applications.
 
         Applies only to protocol rounds — functions that both bind masks
         (``random_vector(...)`` results or ``receive(kind="mask")``) and
         send traffic; helper functions that only generate or only apply
         are judged at their call sites' enclosing round.
+
+        The ledger is aggregated across the round's mask bindings: the
+        generated mask carries the ``+`` and the received one (possibly
+        under a ``Message`` envelope name) carries the ``-``, so a round
+        balances when total adds equal total subtracts.  A sign flip or
+        a dropped subtraction still surfaces — the names that fail to
+        balance individually are the ones reported.
         """
         bindings: dict[str, int] = {}  # name -> first binding line
         sends = False
@@ -162,22 +191,24 @@ class ProtocolInvariantChecker(ModuleChecker):
                 if op in ("add", "subtract"):
                     counter = adds if op == "add" else subtracts
                     for arg in stmt.args:
-                        if isinstance(arg, ast.Name) and arg.id in bindings:
-                            counter[arg.id] += 1
+                        name = _operand_name(arg)
+                        if name in bindings:
+                            counter[name] += 1
             elif isinstance(stmt, ast.BinOp) and isinstance(
                 stmt.op, (ast.Add, ast.Sub)
             ):
                 for side, operand in (("left", stmt.left), ("right", stmt.right)):
-                    if not (
-                        isinstance(operand, ast.Name) and operand.id in bindings
-                    ):
+                    name = _operand_name(operand)
+                    if name not in bindings:
                         continue
                     # In ``a - mask`` the mask enters negatively; every
                     # other position is a positive application.
                     negative = isinstance(stmt.op, ast.Sub) and side == "right"
                     counter = subtracts if negative else adds
-                    counter[operand.id] += 1
+                    counter[name] += 1
 
+        if sum(adds.values()) == sum(subtracts.values()):
+            return
         for name in sorted(bindings):
             if adds[name] != subtracts[name]:
                 yield self.finding(

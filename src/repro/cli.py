@@ -20,6 +20,11 @@ Commands
 ``lint``
     Run the privacy/determinism static-analysis suite over the source
     tree (see ``docs/STATIC_ANALYSIS.md``).
+``runs``
+    Query the persistent run ledger under ``.repro-runs/`` — ``list``,
+    ``show``, ``diff``, and ``compare`` (see ``docs/OBSERVABILITY.md``,
+    "Querying past runs").  ``train`` and ``trace`` gain ``--ledger``
+    to record their runs.
 """
 
 from __future__ import annotations
@@ -68,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--insecure", action="store_true", help="plaintext aggregation")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", help="write the consensus model to this .npz path")
+    train.add_argument("--ledger", action="store_true",
+                       help="record this run into the run ledger")
+    train.add_argument("--ledger-dir", default=None,
+                       help="ledger directory (default: .repro-runs)")
+    train.add_argument("--on-health", choices=["warn", "raise", "ignore"],
+                       default="warn", help="policy when a convergence-health "
+                       "detector fires")
 
     fig = sub.add_parser("figure4", help="regenerate Fig. 4 panels")
     fig.add_argument("--panels", default="abcdefgh")
@@ -95,6 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", help="write Chrome-trace JSON here (chrome://tracing)")
     trace.add_argument("--jsonl", help="write the span/event/counter records here")
+    trace.add_argument("--ledger", action="store_true",
+                       help="record this run into the run ledger")
+    trace.add_argument("--ledger-dir", default=None,
+                       help="ledger directory (default: .repro-runs)")
 
     lint = sub.add_parser("lint", help="run the privacy/determinism static analysis")
     lint.add_argument("paths", nargs="*", help="files or directories (default: src/)")
@@ -123,7 +139,22 @@ def _build_parser() -> argparse.ArgumentParser:
                       "changed (<root>/.repro-lint-cache.json)")
     lint.add_argument("--cache-path", metavar="PATH",
                       help="cache file location (implies --cache)")
+
+    from repro.obs.runs_cli import add_runs_parser
+
+    add_runs_parser(sub)
     return parser
+
+
+def _record_run(model: "PrivacyPreservingSVM", args: argparse.Namespace,
+                kind: str) -> None:
+    """Persist a CLI run into the ledger and print its id."""
+    from repro.obs.ledger import DEFAULT_LEDGER_DIR
+
+    ledger_dir = args.ledger_dir or DEFAULT_LEDGER_DIR
+    run_id = model.save_run(ledger_dir, kind=kind,
+                            label=f"{args.dataset}/{args.mode}")
+    print(f"run recorded: {run_id} ({ledger_dir}/)")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -147,6 +178,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         max_iter=args.iters,
         secure=not args.insecure,
         seed=args.seed,
+        on_health=args.on_health,
     )
     if args.mode == "horizontal":
         data = horizontal_partition(train_set, args.learners, seed=args.seed)
@@ -165,6 +197,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
           f"({summary['bytes_per_iteration']:.0f}/iter)")
     print(f"raw data moved     : {summary['raw_data_bytes_moved']:.0f} bytes")
     print(f"secure sum rounds  : {summary['secure_sum_rounds']:.0f}")
+    print(f"health verdict     : {model.health_monitor_.verdict()}")
+    audit = model.audit_log_.summary()
+    print(f"protocol audit     : {audit['n_rounds']} round(s), "
+          f"{'clean' if audit['ok'] else str(audit['n_violations']) + ' violation(s)'}")
+    if args.ledger:
+        _record_run(model, args, "train")
 
     if args.save:
         if args.mode != "horizontal" or kernel is not None:
@@ -274,7 +312,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               f"{'OK' if match else 'MISMATCH'}")
     print(f"{'raw bytes':>10}: {model.raw_data_bytes_moved():.0f} "
           f"(dropped trace records: {model.network_.tracer.dropped})")
+    if model.network_.tracer.dropped:
+        print(f"warning: {model.network_.tracer.dropped} trace record(s) were "
+              f"dropped at the recorder's cap — the cost table above and any "
+              f"exported trace are incomplete; raise TraceRecorder(max_records=...)",
+              file=sys.stderr)
 
+    if args.ledger:
+        _record_run(model, args, "trace")
     if args.out:
         model.export_trace(args.out, format="chrome")
         print(f"Chrome trace written to {args.out} (load at chrome://tracing)")
@@ -360,6 +405,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.runs_cli import cmd_runs
+
+    return cmd_runs(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -370,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         "protocol-demo": _cmd_protocol_demo,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "runs": _cmd_runs,
     }
     return handlers[args.command](args)
 

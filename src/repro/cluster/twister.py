@@ -212,6 +212,12 @@ class IterativeMapReduceDriver:
         genuinely overlaps.  Outputs are merged in the fixed task-key
         order regardless of completion order, so trajectories are
         bit-identical to sequential mode.
+    on_round:
+        Optional callback invoked with each :class:`IterationResult`
+        right after it is appended to :attr:`history` (while the round's
+        metrics are fresh) — the hook the trainer uses to stream results
+        into a :class:`~repro.obs.health.HealthMonitor`.  Exceptions
+        propagate and abort the run.
     """
 
     hdfs: SimulatedHdfs
@@ -220,6 +226,7 @@ class IterativeMapReduceDriver:
     aggregator: Aggregator
     reducer_node: str = "reducer"
     n_map_workers: int = 1
+    on_round: Callable[[IterationResult], None] | None = None
     history: list[IterationResult] = field(default_factory=list)
     _mappers: dict[str, IterativeMapper] = field(default_factory=dict)
     _contexts: dict[str, MapperContext] = field(default_factory=dict)
@@ -335,15 +342,16 @@ class IterativeMapReduceDriver:
                 round_span.attrs["converged"] = converged
                 round_span.attrs["bytes_delta"] = network.bytes_sent() - start_bytes
 
-            self.history.append(
-                IterationResult(
-                    iteration=iteration,
-                    state=state,
-                    converged=converged,
-                    wall_time_s=time.perf_counter() - start_time,
-                    bytes_delta=network.bytes_sent() - start_bytes,
-                )
+            result = IterationResult(
+                iteration=iteration,
+                state=state,
+                converged=converged,
+                wall_time_s=time.perf_counter() - start_time,
+                bytes_delta=network.bytes_sent() - start_bytes,
             )
+            self.history.append(result)
+            if self.on_round is not None:
+                self.on_round(result)
             if converged:
                 break
         return self.history

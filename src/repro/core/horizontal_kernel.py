@@ -34,6 +34,8 @@ which is what lets the consensus image be exchanged at all.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import scipy.linalg as sla
 
@@ -44,6 +46,9 @@ from repro.svm.model import accuracy
 from repro.svm.qp import solve_box_qp
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_labels, check_matrix, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["HorizontalKernelSVM", "HorizontalKernelWorker", "sample_landmarks"]
 
@@ -253,6 +258,7 @@ class HorizontalKernelSVM:
         partitions: list[Dataset],
         *,
         eval_set: Dataset | None = None,
+        health_monitor: "HealthMonitor | None" = None,
     ) -> "HorizontalKernelSVM":
         """Train from per-learner datasets; see :class:`HorizontalLinearSVM`."""
         if len(partitions) < 2:
@@ -319,6 +325,13 @@ class HorizontalKernelSVM:
                     accuracy=acc,
                 )
             )
+            if health_monitor is not None:
+                health_monitor.observe(
+                    iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    residual_available=True,
+                )
             if self.tol is not None and z_change <= self.tol:
                 break
 

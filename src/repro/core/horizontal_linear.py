@@ -31,6 +31,8 @@ previous ``lambda`` — this is what makes per-iteration Map() cheap.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.results import IterationRecord, TrainingHistory
@@ -39,6 +41,9 @@ from repro.svm.model import accuracy
 from repro.svm.qp import solve_box_qp
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_labels, check_matrix, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["HorizontalLinearSVM", "HorizontalLinearWorker"]
 
@@ -209,11 +214,15 @@ class HorizontalLinearSVM:
         partitions: list[Dataset],
         *,
         eval_set: Dataset | None = None,
+        health_monitor: "HealthMonitor | None" = None,
     ) -> "HorizontalLinearSVM":
         """Train from per-learner datasets (see :func:`horizontal_partition`).
 
         ``eval_set`` enables the per-iteration correct-ratio series of
-        Fig. 4(e) (scored with the consensus model).
+        Fig. 4(e) (scored with the consensus model).  ``health_monitor``
+        optionally streams each iteration into a
+        :class:`~repro.obs.health.HealthMonitor` (signals are recorded,
+        not enforced — policy belongs to the caller).
         """
         if len(partitions) < 2:
             raise ValueError("need at least 2 partitions")
@@ -276,6 +285,13 @@ class HorizontalLinearSVM:
                     accuracy=acc,
                 )
             )
+            if health_monitor is not None:
+                health_monitor.observe(
+                    iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    residual_available=True,
+                )
             if self.tol is not None and z_change <= self.tol:
                 break
 

@@ -29,12 +29,17 @@ applies unchanged.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.results import IterationRecord, TrainingHistory
 from repro.data.dataset import Dataset
 from repro.svm.model import accuracy
 from repro.utils.validation import check_labels, check_matrix, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["HorizontalLogisticRegression", "LogisticWorker"]
 
@@ -169,6 +174,7 @@ class HorizontalLogisticRegression:
         partitions: list[Dataset],
         *,
         eval_set: Dataset | None = None,
+        health_monitor: "HealthMonitor | None" = None,
     ) -> "HorizontalLogisticRegression":
         """Train from per-learner datasets."""
         if len(partitions) < 2:
@@ -211,6 +217,13 @@ class HorizontalLogisticRegression:
                     accuracy=acc,
                 )
             )
+            if health_monitor is not None:
+                health_monitor.observe(
+                    iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    residual_available=True,
+                )
             if self.tol is not None and z_change <= self.tol:
                 break
 

@@ -130,11 +130,14 @@ class HorizontalConsensusReducer(IterativeReducer):
             converged = self.tol is not None and z_change <= self.tol
             check.attrs.update(z_change_sq=z_change, tol=self.tol, converged=converged)
         self.z, self.s = z_new, s_new
+        # The secure path delivers only the sums w_m + gamma_m, so the
+        # Reducer cannot isolate mean(w_m) to measure the residual.
         self.history.append(
             IterationRecord(
                 iteration=context.iteration,
                 z_change_sq=z_change,
                 primal_residual=float("nan"),
+                residual_available=False,
             )
         )
         return {"z": self.z, "s": self.s}, converged

@@ -33,12 +33,21 @@ class IterationRecord:
     accuracy:
         Correct ratio on the evaluation set, if one was supplied
         (Fig. 4(e)–(h)); ``nan`` otherwise.
+    residual_available:
+        Whether ``primal_residual`` was actually measured.  The secure
+        horizontal Reducer only ever sees the *sums* ``w_m + gamma_m``,
+        so it cannot separate the dual terms to compute the residual —
+        it records ``nan`` with ``residual_available=False`` instead of
+        a silent placeholder, and downstream consumers (the health
+        monitors, the run ledger) skip the series rather than tripping
+        on NaN.
     """
 
     iteration: int
     z_change_sq: float
     primal_residual: float
     accuracy: float = float("nan")
+    residual_available: bool = True
 
 
 @dataclass
@@ -67,7 +76,14 @@ class TrainingHistory:
 
     @property
     def primal_residuals(self) -> np.ndarray:
+        """Primal-residual series (``nan`` where not measured —
+        check :attr:`residuals_available` before interpreting)."""
         return np.array([r.primal_residual for r in self.records])
+
+    @property
+    def residuals_available(self) -> bool:
+        """True when every record carries a measured primal residual."""
+        return all(r.residual_available for r in self.records)
 
     def final_accuracy(self) -> float:
         """Last recorded accuracy (nan if never evaluated)."""

@@ -36,6 +36,7 @@ True
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro.cluster.profiling import Profiler
 from repro.cluster.tracing import cost_table
 from repro.cluster.twister import (
     Aggregator,
+    IterationResult,
     IterativeMapReduceDriver,
     PlaintextAggregator,
 )
@@ -61,6 +63,14 @@ from repro.core.results import TrainingHistory
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.crypto.secure_sum import SecureSumAggregator
 from repro.data.dataset import Dataset
+from repro.obs.audit import ProtocolAuditLog
+from repro.obs.health import HealthMonitor, HealthPolicyError
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    RunLedger,
+    RunRecord,
+    dataset_fingerprint,
+)
 from repro.svm.kernels import Kernel
 from repro.svm.model import accuracy
 from repro.utils.validation import check_labels, check_matrix, check_positive
@@ -111,6 +121,17 @@ class PrivacyPreservingSVM:
         Thread count for the driver's map wave (see
         :class:`~repro.cluster.twister.IterativeMapReduceDriver`);
         any value yields bit-identical trajectories to sequential mode.
+    on_health:
+        Policy when a convergence-health detector fires during
+        training: ``"warn"`` (default) issues a ``RuntimeWarning`` per
+        signal, ``"raise"`` aborts with
+        :class:`~repro.obs.health.HealthPolicyError`, ``"ignore"``
+        records silently.  Signals are always recorded on
+        ``health_monitor_`` and in the run record either way.
+    health_monitor:
+        Explicit :class:`~repro.obs.health.HealthMonitor` (e.g. with
+        tuned detector windows); a default one is built per fit when
+        omitted.
     """
 
     def __init__(
@@ -133,9 +154,15 @@ class PrivacyPreservingSVM:
         qp_tol: float = 1e-8,
         qp_max_sweeps: int = 500,
         n_map_workers: int = 1,
+        on_health: str = "warn",
+        health_monitor: HealthMonitor | None = None,
     ) -> None:
         if partitioning not in ("horizontal", "vertical"):
             raise ValueError(f"partitioning must be 'horizontal' or 'vertical', got {partitioning!r}")
+        if on_health not in ("warn", "raise", "ignore"):
+            raise ValueError(
+                f"on_health must be 'warn', 'raise', or 'ignore', got {on_health!r}"
+            )
         self.partitioning = partitioning
         self.kernel = kernel
         self.C = check_positive(C, "C")
@@ -155,12 +182,17 @@ class PrivacyPreservingSVM:
         if n_map_workers < 1:
             raise ValueError(f"n_map_workers must be >= 1, got {n_map_workers}")
         self.n_map_workers = int(n_map_workers)
+        self.on_health = on_health
+        self._health_monitor_override = health_monitor
 
         self.network_: Network | None = None
         self.profiler_: Profiler | None = None
         self.hdfs_: SimulatedHdfs | None = None
         self.driver_: IterativeMapReduceDriver | None = None
         self.history_: TrainingHistory = TrainingHistory()
+        self.health_monitor_: HealthMonitor | None = None
+        self.audit_log_: ProtocolAuditLog | None = None
+        self.dataset_fingerprint_: dict[str, Any] | None = None
         self.landmarks_: np.ndarray | None = None
         self._reducer: HorizontalConsensusReducer | VerticalReducerAdapter | None = None
         self._partition: VerticalPartition | None = None
@@ -183,6 +215,7 @@ class PrivacyPreservingSVM:
 
         self._n_learners = len(payloads)
         self._reducer = reducer
+        self.dataset_fingerprint_ = self._fingerprint(data)
 
         profiler = Profiler()
         network = Network(metrics=profiler)
@@ -192,7 +225,11 @@ class PrivacyPreservingSVM:
             hdfs.add_datanode(node)
         hdfs.put(_TRAINING_FILE, payloads, preferred_nodes=learner_nodes, private=True)
 
-        aggregator = self._make_aggregator()
+        audit = ProtocolAuditLog(metrics=profiler, tracer=profiler.tracer)
+        health = self._health_monitor_override or HealthMonitor()
+        health.metrics = profiler
+        health.tracer = profiler.tracer
+        aggregator = self._make_aggregator(audit)
         driver = IterativeMapReduceDriver(
             hdfs=hdfs,
             mapper_factory=mapper_factory,
@@ -200,18 +237,85 @@ class PrivacyPreservingSVM:
             aggregator=aggregator,
             reducer_node="reducer",
             n_map_workers=self.n_map_workers,
+            on_round=self._health_hook(reducer.history, health),
         )
-        driver.run(_TRAINING_FILE, max_iterations=self.max_iter)
 
+        # Expose the run's observability handles before the driver loop
+        # so an on_health="raise" abort still leaves the partial run
+        # (history, trace, audit log) inspectable.
         self.network_ = network
         self.profiler_ = profiler
         self.hdfs_ = hdfs
         self.driver_ = driver
         self.history_ = reducer.history
+        self.health_monitor_ = health
+        self.audit_log_ = audit
+        try:
+            driver.run(_TRAINING_FILE, max_iterations=self.max_iter)
+        finally:
+            health.finalize()
         return self
 
-    def _make_aggregator(self) -> Aggregator:
+    def _health_hook(self, history: TrainingHistory, health: HealthMonitor) -> Any:
+        """Per-round driver callback streaming metrics into the monitor."""
+
+        def on_round(result: IterationResult) -> None:
+            record = history.records[-1]
+            signals = health.observe(
+                record.iteration,
+                z_change_sq=record.z_change_sq,
+                primal_residual=record.primal_residual,
+                residual_available=record.residual_available,
+                bytes_delta=result.bytes_delta,
+            )
+            if not signals or self.on_health == "ignore":
+                return
+            if self.on_health == "raise":
+                raise HealthPolicyError(signals[0].message)
+            for signal in signals:
+                warnings.warn(signal.message, RuntimeWarning, stacklevel=2)
+
+        return on_round
+
+    def _fingerprint(self, data: list[Dataset] | VerticalPartition) -> dict[str, Any]:
+        """Aggregate dataset identity for the run ledger (hash + shape only)."""
+        if isinstance(data, list):
+            X = np.vstack([p.X for p in data])
+            y = np.concatenate([p.y for p in data])
+        else:
+            X = np.hstack(list(data.blocks))
+            y = data.y
+        return {
+            "fingerprint": dataset_fingerprint(X, y),
+            "n_samples": int(X.shape[0]),
+            "n_features": int(X.shape[1]),
+            "n_partitions": self._n_learners,
+        }
+
+    @property
+    def config_(self) -> dict[str, Any]:
+        """Hyperparameters as recorded in the run ledger."""
+        return {
+            "partitioning": self.partitioning,
+            "kernel": type(self.kernel).__name__ if self.kernel else None,
+            "C": self.C,
+            "rho": self.rho,
+            "n_landmarks": self.n_landmarks,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "secure": self.secure,
+            "mask_mode": self.mask_mode,
+            "fractional_bits": self.fractional_bits,
+            "n_map_workers": self.n_map_workers,
+            "on_health": self.on_health,
+        }
+
+    def _make_aggregator(self, audit: ProtocolAuditLog | None = None) -> Aggregator:
         if self.aggregator_override is not None:
+            # Wire the run's audit log into a caller-supplied aggregator
+            # that supports it but has none of its own.
+            if getattr(self.aggregator_override, "audit", False) is None:
+                self.aggregator_override.audit = audit
             return self.aggregator_override
         if not self.secure:
             return PlaintextAggregator()
@@ -219,7 +323,9 @@ class PrivacyPreservingSVM:
             fractional_bits=self.fractional_bits,
             max_terms=max(self._n_learners, 2),
         )
-        return SecureSumAggregator(codec=codec, mode=self.mask_mode, seed=self.seed)
+        return SecureSumAggregator(
+            codec=codec, mode=self.mask_mode, seed=self.seed, audit=audit
+        )
 
     def _prepare_horizontal(
         self, partitions: list[Dataset]
@@ -377,6 +483,26 @@ class PrivacyPreservingSVM:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(payload)
         return payload
+
+    def run_record(self, *, kind: str = "train", label: str = "") -> RunRecord:
+        """Build this run's ledger record (aggregates only — no raw data).
+
+        Joins the training history with the trace-derived per-iteration
+        costs, final counters, the health verdict, and the protocol
+        audit summary; see :mod:`repro.obs.ledger` for the schema.
+        """
+        self._require_fitted()
+        return RunRecord.from_model(self, kind=kind, label=label)
+
+    def save_run(
+        self,
+        ledger_dir: str = DEFAULT_LEDGER_DIR,
+        *,
+        kind: str = "train",
+        label: str = "",
+    ) -> str:
+        """Persist this run into the ledger; returns the new run id."""
+        return RunLedger(ledger_dir).record(self.run_record(kind=kind, label=label))
 
     def _require_fitted(self) -> None:
         if self.network_ is None:

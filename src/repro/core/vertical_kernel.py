@@ -25,6 +25,8 @@ only in the shared consensus vector, exactly as in the paper.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import scipy.linalg as sla
 
@@ -34,6 +36,9 @@ from repro.core.vertical_linear import VerticalConsensusReducer
 from repro.svm.kernels import Kernel, RBFKernel
 from repro.svm.model import accuracy
 from repro.utils.validation import check_labels, check_matrix, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["VerticalKernelSVM", "VerticalKernelWorker"]
 
@@ -121,6 +126,7 @@ class VerticalKernelSVM:
         *,
         eval_X=None,
         eval_y=None,
+        health_monitor: "HealthMonitor | None" = None,
     ) -> "VerticalKernelSVM":
         """Train; ``eval_X/eval_y`` enable the Fig. 4(h) accuracy series."""
         self.partition_ = partition
@@ -158,6 +164,13 @@ class VerticalKernelSVM:
                     accuracy=acc,
                 )
             )
+            if health_monitor is not None:
+                health_monitor.observe(
+                    iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    residual_available=True,
+                )
             if self.tol is not None and z_change <= self.tol:
                 break
         return self

@@ -31,6 +31,8 @@ vertically partitioned deployments actually classify.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import scipy.linalg as sla
 
@@ -39,6 +41,9 @@ from repro.core.results import IterationRecord, TrainingHistory
 from repro.svm.knapsack import solve_quadratic_knapsack
 from repro.svm.model import accuracy
 from repro.utils.validation import check_labels, check_matrix, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["VerticalConsensusReducer", "VerticalLinearSVM", "VerticalLinearWorker"]
 
@@ -194,6 +199,7 @@ class VerticalLinearSVM:
         *,
         eval_X=None,
         eval_y=None,
+        health_monitor: "HealthMonitor | None" = None,
     ) -> "VerticalLinearSVM":
         """Train; ``eval_X/eval_y`` enable the Fig. 4(g) accuracy series."""
         self.partition_ = partition
@@ -228,6 +234,13 @@ class VerticalLinearSVM:
                     accuracy=acc,
                 )
             )
+            if health_monitor is not None:
+                health_monitor.observe(
+                    iteration,
+                    z_change_sq=z_change,
+                    primal_residual=primal,
+                    residual_available=True,
+                )
             if self.tol is not None and z_change <= self.tol:
                 break
         return self

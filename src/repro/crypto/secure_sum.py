@@ -48,6 +48,7 @@ import numpy as np
 from repro.cluster.network import Network
 from repro.cluster.twister import Aggregator
 from repro.crypto.fixed_point import FixedPointCodec
+from repro.obs.audit import ProtocolAuditLog
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = ["SecureSumAggregator", "SecureSummationProtocol"]
@@ -72,6 +73,11 @@ class SecureSummationProtocol:
     seed:
         Seed for all mask randomness (per-participant streams are split
         off deterministically).
+    audit:
+        Optional :class:`~repro.obs.audit.ProtocolAuditLog`; when given,
+        every mask application/removal, pad derivation, seed agreement,
+        and share transfer is recorded and the protocol's invariants are
+        checked at the end of every round.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class SecureSummationProtocol:
         codec: FixedPointCodec | None = None,
         mode: str = "fresh",
         seed: int | np.random.Generator | None = None,
+        audit: ProtocolAuditLog | None = None,
     ) -> None:
         if len(participant_ids) < 2:
             raise ValueError("secure summation needs at least 2 participants")
@@ -97,6 +104,12 @@ class SecureSummationProtocol:
         self.reducer_id = reducer_id
         self.codec = codec if codec is not None else FixedPointCodec()
         self.mode = mode
+        self.audit = audit
+        # Fault-injection hook for the auditor's own tests: when set to a
+        # ``(generator, receiver)`` pair, the receiver silently fails to
+        # net off that one mask each round — the classic imbalance the
+        # runtime audit must catch (and the sum becomes garbage).
+        self._audit_fault: tuple[str, str] | None = None
 
         for node in [*self.participants, reducer_id]:
             network.register(node)
@@ -125,6 +138,8 @@ class SecureSummationProtocol:
                     received = self.network.receive(b, kind="mask-seed")
                     self._pair_rngs[(a, b)] = as_rng(received)
                     self.network.metrics.increment("crypto.mask_seeds_exchanged", 1)
+                    if self.audit is not None:
+                        self.audit.seed_agreed(a, b)
 
     def sum_vectors(self, values: dict[str, np.ndarray]) -> np.ndarray:
         """Run the protocol once, returning the elementwise sum.
@@ -160,6 +175,8 @@ class SecureSummationProtocol:
             n_participants=len(self.participants),
             vector_length=n,
         ):
+            if self.audit is not None:
+                self.audit.begin_round("secure-sum", self.participants)
             encoded = {p: self.codec.encode_array(values[p]) for p in self.participants}
             net_mask = {p: self.codec.zeros_array(n) for p in self.participants}
 
@@ -176,12 +193,20 @@ class SecureSummationProtocol:
                             metrics.increment("crypto.masks_generated", 1)
                             self.network.send(sender, receiver, mask, kind="mask")
                             net_mask[sender] = self.codec.add(net_mask[sender], mask)  # Sed
+                            if self.audit is not None:
+                                self.audit.mask_applied(sender, receiver)
                     for receiver in self.participants:
                         for _ in range(len(self.participants) - 1):
-                            mask = self.network.receive(receiver, kind="mask")
+                            mask_message = self.network.receive_message(
+                                receiver, kind="mask"
+                            )
+                            if self._audit_fault == (mask_message.src, receiver):
+                                continue  # injected fault: mask never netted
                             net_mask[receiver] = self.codec.subtract(
-                                net_mask[receiver], mask
+                                net_mask[receiver], mask_message.payload
                             )  # Rev
+                            if self.audit is not None:
+                                self.audit.mask_removed(receiver, mask_message.src)
             else:
                 # PRG mode: pads come from the shared pairwise streams; the
                 # lower-indexed partner adds, the higher-indexed one
@@ -192,6 +217,8 @@ class SecureSummationProtocol:
                         metrics.increment("crypto.masks_generated", 1)
                         net_mask[a] = self.codec.add(net_mask[a], pad)
                         net_mask[b] = self.codec.subtract(net_mask[b], pad)
+                        if self.audit is not None:
+                            self.audit.pad_derived(a, b)
 
             # Step 4: masked shares to the Reducer.
             with tracer.span("crypto.masked_shares", kind="crypto"):
@@ -199,14 +226,22 @@ class SecureSummationProtocol:
                     share = self.codec.add(encoded[p], net_mask[p])
                     self.network.send(p, self.reducer_id, share, kind="masked-share")
                     metrics.increment("crypto.masked_shares_sent", 1)
+                    if self.audit is not None:
+                        self.audit.share_sent(p)
 
             # Step 5: the Reducer sums; the pads cancel telescopically.
             with tracer.span("crypto.reduce_sum", kind="crypto", node=self.reducer_id):
                 total = self.codec.zeros_array(n)
                 for _ in self.participants:
-                    share = self.network.receive(self.reducer_id, kind="masked-share")
-                    total = self.codec.add(total, share)
+                    message = self.network.receive_message(
+                        self.reducer_id, kind="masked-share"
+                    )
+                    total = self.codec.add(total, message.payload)
+                    if self.audit is not None:
+                        self.audit.share_received(message.src)
             metrics.increment("crypto.secure_sum_rounds", 1)
+            if self.audit is not None:
+                self.audit.end_round()
             return self.codec.decode(total)
 
 
@@ -226,10 +261,12 @@ class SecureSumAggregator(Aggregator):
         codec: FixedPointCodec | None = None,
         mode: str = "fresh",
         seed: int | np.random.Generator | None = None,
+        audit: ProtocolAuditLog | None = None,
     ) -> None:
         self.codec = codec
         self.mode = mode
         self.seed = as_rng(seed)
+        self.audit = audit
         self._protocol: SecureSummationProtocol | None = None
 
     def aggregate(
@@ -248,6 +285,7 @@ class SecureSumAggregator(Aggregator):
                 codec=self.codec,
                 mode=self.mode,
                 seed=self.seed,
+                audit=self.audit,
             )
 
         keys = sorted(outputs[participants[0]])

@@ -33,6 +33,7 @@ from repro.crypto.secret_sharing import (
     shamir_lagrange_weights,
     shamir_share,
 )
+from repro.obs.audit import ProtocolAuditLog
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = ["ThresholdSumAggregator", "ThresholdSummationProtocol"]
@@ -56,6 +57,10 @@ class ThresholdSummationProtocol:
         (constructed automatically when omitted).
     prime:
         The Shamir field.
+    audit:
+        Optional :class:`~repro.obs.audit.ProtocolAuditLog`; when given,
+        each round's share distribution and reconstruction are recorded
+        and the threshold/share-count invariants are checked live.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class ThresholdSummationProtocol:
         codec: FixedPointCodec | None = None,
         prime: int = MERSENNE_PRIME_127,
         seed: int | np.random.Generator | None = None,
+        audit: ProtocolAuditLog | None = None,
     ) -> None:
         if len(participant_ids) < 2:
             raise ValueError("threshold summation needs at least 2 participants")
@@ -88,6 +94,7 @@ class ThresholdSummationProtocol:
         elif codec.modulus != prime:
             raise ValueError("codec modulus must equal the Shamir field prime")
         self.codec = codec
+        self.audit = audit
         for node in [*self.participants, reducer_id]:
             network.register(node)
         self._rngs = dict(zip(self.participants, spawn_rngs(as_rng(seed), n)))
@@ -132,6 +139,13 @@ class ThresholdSummationProtocol:
             n_dropouts=len(dropouts),
             vector_length=dim,
         ):
+            if self.audit is not None:
+                self.audit.begin_round(
+                    "threshold-sum",
+                    self.participants,
+                    threshold=self.threshold,
+                    expected_senders=alive,
+                )
             # Step 1: share each element among all participants.
             # outgoing[src][dst] = list over elements of that dst's share
             # value.
@@ -172,6 +186,8 @@ class ThresholdSummationProtocol:
                     self.network.send(
                         p, self.reducer_id, (x_coord, aggregated), kind="threshold-agg-share"
                     )
+                    if self.audit is not None:
+                        self.audit.share_sent(p)
 
             # Step 4: reconstruct from the first `threshold` aggregated
             # shares.  The Lagrange-at-zero weights depend only on the
@@ -183,9 +199,12 @@ class ThresholdSummationProtocol:
             ):
                 received: list[tuple[int, list[int]]] = []
                 for _ in alive:
-                    received.append(
-                        self.network.receive(self.reducer_id, kind="threshold-agg-share")
+                    message = self.network.receive_message(
+                        self.reducer_id, kind="threshold-agg-share"
                     )
+                    received.append(message.payload)
+                    if self.audit is not None:
+                        self.audit.share_received(message.src)
                 chosen = received[: self.threshold]
                 weights = shamir_lagrange_weights(
                     [x for x, _ in chosen], prime=self.prime
@@ -195,6 +214,9 @@ class ThresholdSummationProtocol:
                     scaled = [(weight * int(s)) % self.prime for s in share_vec]
                     totals = self.codec.add(totals, scaled)
             metrics.increment("crypto.threshold_sum_rounds", 1)
+            if self.audit is not None:
+                self.audit.reconstruction(len(chosen), ok=True)
+                self.audit.end_round()
             return self.codec.decode(totals)
 
 
@@ -216,11 +238,13 @@ class ThresholdSumAggregator:
         prime: int = MERSENNE_PRIME_127,
         seed: int | np.random.Generator | None = None,
         dropout_schedule: dict[int, set[str]] | None = None,
+        audit: ProtocolAuditLog | None = None,
     ) -> None:
         self.threshold = threshold
         self.prime = prime
         self.seed = as_rng(seed)
         self.dropout_schedule = dropout_schedule or {}
+        self.audit = audit
         self._protocol: ThresholdSummationProtocol | None = None
         self._round = 0
 
@@ -240,6 +264,7 @@ class ThresholdSumAggregator:
                 threshold=self.threshold,
                 prime=self.prime,
                 seed=self.seed,
+                audit=self.audit,
             )
         keys = sorted(outputs[participants[0]])
         layout = [

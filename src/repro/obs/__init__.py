@@ -1,0 +1,52 @@
+"""Persistent observability: run ledger, health monitors, protocol audit.
+
+Three cooperating pieces turn the in-memory instrumentation
+(:mod:`repro.cluster.profiling`) into a persistent, self-checking layer:
+
+* :mod:`repro.obs.ledger` — schema-versioned, content-addressed run
+  records under ``.repro-runs/`` (:class:`RunLedger`,
+  :class:`RunRecord`, :func:`diff_runs`);
+* :mod:`repro.obs.health` — streaming convergence-health detectors
+  hooked into the trainer loop (:class:`HealthMonitor`);
+* :mod:`repro.obs.audit` — a runtime auditor asserting the secure
+  aggregation protocols' invariants while they execute
+  (:class:`ProtocolAuditLog`).
+
+The ``repro runs`` CLI (:mod:`repro.obs.runs_cli`) queries the ledger.
+See ``docs/OBSERVABILITY.md`` for the record schema, the ``health.*``
+event names, and the ``audit.*`` counters.
+"""
+
+from repro.obs.audit import (
+    AuditViolation,
+    ProtocolAuditError,
+    ProtocolAuditLog,
+    RoundAudit,
+)
+from repro.obs.health import HealthMonitor, HealthPolicyError, HealthSignal
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    RunDiff,
+    RunLedger,
+    RunRecord,
+    SCHEMA_VERSION,
+    dataset_fingerprint,
+    diff_runs,
+)
+
+__all__ = [
+    "AuditViolation",
+    "DEFAULT_LEDGER_DIR",
+    "HealthMonitor",
+    "HealthPolicyError",
+    "HealthSignal",
+    "ProtocolAuditError",
+    "ProtocolAuditLog",
+    "RoundAudit",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "dataset_fingerprint",
+    "diff_runs",
+]

@@ -1,0 +1,367 @@
+"""Streaming convergence-health monitors for the ADMM trainer loop.
+
+The paper's evaluation (Section V, Fig. 4) is a story about
+*trajectories* — how the consensus residual and communication evolve
+across rounds — and a production deployment needs to know *while
+training* when that trajectory goes wrong.  :class:`HealthMonitor`
+evaluates four cheap streaming detectors after every iteration:
+
+* **divergence** — the convergence series grows monotonically by at
+  least ``divergence_factor`` over a window (tiny ``rho`` / huge ``C``
+  configurations do this);
+* **stall** — the series plateaus inside a narrow relative band at a
+  level that is *not* converged (distinguished from healthy geometric
+  decay, which keeps shrinking, and from a converged run, which sits
+  below ``stall_floor``);
+* **oscillation** — the series alternates direction with significant
+  amplitude instead of settling;
+* **byte blowup** — one iteration's network traffic jumps far above the
+  run's established per-iteration baseline.
+
+Each firing detector appends a :class:`HealthSignal`, emits a
+``health.<detector>`` trace event, and increments the
+``health.signals`` counter (both documented in
+``docs/OBSERVABILITY.md``).  :meth:`HealthMonitor.finalize` emits one
+``health.verdict`` event and freezes the overall verdict that the run
+ledger persists.
+
+The monitor has no opinion about *policy*: callers decide whether a
+signal warns, raises (:class:`HealthPolicyError` exists for exactly
+that), or is merely recorded — see ``PrivacyPreservingSVM``'s
+``on_health`` parameter.
+
+Example
+-------
+>>> monitor = HealthMonitor(divergence_window=3, divergence_factor=2.0)
+>>> for i, value in enumerate([0.1, 0.4, 1.9]):
+...     signals = monitor.observe(i, z_change_sq=value)
+>>> [s.detector for s in signals]
+['divergence']
+>>> monitor.verdict()
+'diverging'
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from math import isfinite
+from typing import Any
+
+__all__ = ["HealthMonitor", "HealthPolicyError", "HealthSignal"]
+
+
+class HealthPolicyError(RuntimeError):
+    """Raised (by callers running ``on_health="raise"``) when a health
+    detector fires during training."""
+
+
+@dataclass(frozen=True)
+class HealthSignal:
+    """One detector firing at one iteration.
+
+    Attributes
+    ----------
+    iteration:
+        0-based training iteration the detector fired at.
+    detector:
+        ``"divergence"``, ``"stall"``, ``"oscillation"``, or
+        ``"byte_blowup"``.
+    value:
+        The observed quantity that tripped the detector (series value,
+        or the iteration's byte delta).
+    threshold:
+        The bound it violated.
+    message:
+        Human-readable one-liner for warnings and the CLI.
+    """
+
+    iteration: int
+    detector: str
+    value: float
+    threshold: float
+    message: str
+
+
+#: Verdict per detector, in decreasing priority order.
+_VERDICTS = (
+    ("divergence", "diverging"),
+    ("oscillation", "oscillating"),
+    ("stall", "stalled"),
+    ("byte_blowup", "byte-blowup"),
+)
+
+
+class HealthMonitor:
+    """Streaming per-iteration convergence health evaluation.
+
+    Parameters
+    ----------
+    divergence_window, divergence_factor:
+        Fire when the last ``divergence_window`` series values are
+        strictly increasing and the newest is at least
+        ``divergence_factor`` times the oldest.
+    stall_window, stall_rel_band, stall_floor:
+        Fire when the last ``stall_window`` values all sit within a
+        ``stall_rel_band`` relative band of their maximum, and that
+        maximum is above ``stall_floor`` (so a converged run resting at
+        ~0 never counts as stalled).
+    oscillation_window, oscillation_flips, oscillation_amplitude:
+        Fire when consecutive differences change sign at least
+        ``oscillation_flips`` times inside the window and the window's
+        max/min ratio is at least ``oscillation_amplitude``.
+    byte_blowup_factor:
+        Fire when an iteration's ``bytes_delta`` exceeds
+        ``byte_blowup_factor`` times the median of all previous
+        iterations' deltas.
+    activity_floor:
+        Series values below this are treated as converged noise and
+        never fire divergence/oscillation.
+    verdict_window:
+        Only signals from the final ``verdict_window`` observed
+        iterations influence :meth:`verdict` — an early transient in an
+        otherwise-converged run stays recorded but does not condemn it.
+    metrics, tracer:
+        Optional :class:`~repro.cluster.profiling.Profiler`-compatible
+        counter sink and :class:`~repro.cluster.tracing.TraceRecorder`;
+        when given, each signal increments ``health.signals`` and emits
+        a ``health.<detector>`` event.
+    """
+
+    def __init__(
+        self,
+        *,
+        divergence_window: int = 3,
+        divergence_factor: float = 2.0,
+        stall_window: int = 5,
+        stall_rel_band: float = 0.05,
+        stall_floor: float = 1e-10,
+        oscillation_window: int = 6,
+        oscillation_flips: int = 4,
+        oscillation_amplitude: float = 3.0,
+        byte_blowup_factor: float = 4.0,
+        activity_floor: float = 1e-12,
+        verdict_window: int = 8,
+        metrics: Any | None = None,
+        tracer: Any | None = None,
+    ) -> None:
+        if divergence_window < 2:
+            raise ValueError(f"divergence_window must be >= 2, got {divergence_window}")
+        if stall_window < 2:
+            raise ValueError(f"stall_window must be >= 2, got {stall_window}")
+        if oscillation_window < 3:
+            raise ValueError(
+                f"oscillation_window must be >= 3, got {oscillation_window}"
+            )
+        self.divergence_window = int(divergence_window)
+        self.divergence_factor = float(divergence_factor)
+        self.stall_window = int(stall_window)
+        self.stall_rel_band = float(stall_rel_band)
+        self.stall_floor = float(stall_floor)
+        self.oscillation_window = int(oscillation_window)
+        self.oscillation_flips = int(oscillation_flips)
+        self.oscillation_amplitude = float(oscillation_amplitude)
+        self.byte_blowup_factor = float(byte_blowup_factor)
+        self.activity_floor = float(activity_floor)
+        self.verdict_window = int(verdict_window)
+        self.metrics = metrics
+        self.tracer = tracer
+
+        self.signals: list[HealthSignal] = []
+        self._series: list[float] = []
+        self._bytes: list[float] = []
+        self._finalized: str | None = None
+
+    # -- observation ----------------------------------------------------
+
+    def observe(
+        self,
+        iteration: int,
+        *,
+        z_change_sq: float,
+        primal_residual: float = float("nan"),
+        residual_available: bool = False,
+        bytes_delta: float = 0.0,
+    ) -> list[HealthSignal]:
+        """Feed one iteration's metrics; returns the signals it fired.
+
+        The convergence series the detectors watch is the primal
+        residual when it was actually measured (``residual_available``)
+        and ``z_change_sq`` otherwise — the latter is always available,
+        including on the secure horizontal path where the Reducer cannot
+        compute residuals.
+        """
+        value = (
+            float(primal_residual)
+            if residual_available and isfinite(primal_residual)
+            else float(z_change_sq)
+        )
+        if not isfinite(value):
+            # An inf/nan residual is the strongest divergence evidence
+            # there is; clamp so the series stays orderable.
+            value = 1e300
+        self._series.append(value)
+        self._bytes.append(float(bytes_delta))
+
+        fired: list[HealthSignal] = []
+        for signal in (
+            self._check_divergence(iteration),
+            self._check_stall(iteration),
+            self._check_oscillation(iteration),
+            self._check_byte_blowup(iteration),
+        ):
+            if signal is None:
+                continue
+            fired.append(signal)
+            self.signals.append(signal)
+            if self.metrics is not None:
+                self.metrics.increment("health.signals", 1)
+            if self.tracer is not None:
+                self.tracer.event(
+                    f"health.{signal.detector}",
+                    kind="health",
+                    iteration=iteration,
+                    value=signal.value,
+                    threshold=signal.threshold,
+                    message=signal.message,
+                )
+        return fired
+
+    # -- detectors ------------------------------------------------------
+
+    def _check_divergence(self, iteration: int) -> HealthSignal | None:
+        w = self.divergence_window
+        if len(self._series) < w:
+            return None
+        window = self._series[-w:]
+        if window[-1] <= self.activity_floor:
+            return None
+        growing = all(b > a for a, b in zip(window, window[1:]))
+        threshold = self.divergence_factor * window[0]
+        if growing and window[0] > 0 and window[-1] >= threshold:
+            return HealthSignal(
+                iteration=iteration,
+                detector="divergence",
+                value=window[-1],
+                threshold=threshold,
+                message=(
+                    f"iteration {iteration}: convergence series grew "
+                    f"{window[-1] / window[0]:.2f}x over the last {w} iterations "
+                    f"({window[0]:.3e} -> {window[-1]:.3e})"
+                ),
+            )
+        return None
+
+    def _check_stall(self, iteration: int) -> HealthSignal | None:
+        w = self.stall_window
+        if len(self._series) < w:
+            return None
+        window = self._series[-w:]
+        top = max(window)
+        if top <= self.stall_floor:
+            return None  # converged, not stalled
+        if top - min(window) <= self.stall_rel_band * top:
+            return HealthSignal(
+                iteration=iteration,
+                detector="stall",
+                value=window[-1],
+                threshold=self.stall_floor,
+                message=(
+                    f"iteration {iteration}: convergence series plateaued at "
+                    f"{window[-1]:.3e} for {w} iterations (relative band "
+                    f"{self.stall_rel_band:g})"
+                ),
+            )
+        return None
+
+    def _check_oscillation(self, iteration: int) -> HealthSignal | None:
+        w = self.oscillation_window
+        if len(self._series) < w:
+            return None
+        window = self._series[-w:]
+        low, high = min(window), max(window)
+        if high <= self.activity_floor:
+            return None
+        diffs = [b - a for a, b in zip(window, window[1:])]
+        flips = sum(
+            1 for a, b in zip(diffs, diffs[1:]) if a * b < 0
+        )
+        amplitude_ok = low > 0 and high / low >= self.oscillation_amplitude
+        if flips >= self.oscillation_flips and amplitude_ok:
+            return HealthSignal(
+                iteration=iteration,
+                detector="oscillation",
+                value=window[-1],
+                threshold=float(self.oscillation_flips),
+                message=(
+                    f"iteration {iteration}: convergence series changed "
+                    f"direction {flips} times in the last {w} iterations "
+                    f"(amplitude {high / low:.1f}x)"
+                ),
+            )
+        return None
+
+    def _check_byte_blowup(self, iteration: int) -> HealthSignal | None:
+        if len(self._bytes) < 2:
+            return None
+        previous = sorted(self._bytes[:-1])
+        baseline = previous[len(previous) // 2]
+        if baseline <= 0:
+            return None
+        threshold = self.byte_blowup_factor * baseline
+        latest = self._bytes[-1]
+        if latest > threshold:
+            return HealthSignal(
+                iteration=iteration,
+                detector="byte_blowup",
+                value=latest,
+                threshold=threshold,
+                message=(
+                    f"iteration {iteration}: {latest:.0f} bytes on the wire vs "
+                    f"a per-iteration baseline of {baseline:.0f} "
+                    f"(> {self.byte_blowup_factor:g}x)"
+                ),
+            )
+        return None
+
+    # -- verdict --------------------------------------------------------
+
+    def verdict(self) -> str:
+        """Overall health verdict for the run observed so far.
+
+        ``"healthy"`` unless a detector fired within the final
+        ``verdict_window`` iterations; otherwise the highest-priority
+        recent detector decides: ``"diverging"`` > ``"oscillating"`` >
+        ``"stalled"`` > ``"byte-blowup"``.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        horizon = len(self._series) - self.verdict_window
+        recent = {s.detector for s in self.signals if s.iteration >= horizon}
+        for detector, verdict in _VERDICTS:
+            if detector in recent:
+                return verdict
+        return "healthy"
+
+    def finalize(self) -> str:
+        """Freeze the verdict and emit the ``health.verdict`` event."""
+        if self._finalized is None:
+            verdict = self.verdict()
+            self._finalized = verdict
+            if self.tracer is not None:
+                self.tracer.event(
+                    "health.verdict",
+                    kind="health",
+                    verdict=verdict,
+                    n_signals=len(self.signals),
+                    n_iterations=len(self._series),
+                )
+        return self._finalized
+
+    def summary(self) -> dict[str, Any]:
+        """Machine-readable summary for the run ledger."""
+        return {
+            "verdict": self.verdict(),
+            "n_iterations": len(self._series),
+            "n_signals": len(self.signals),
+            "signals": [asdict(signal) for signal in self.signals],
+        }

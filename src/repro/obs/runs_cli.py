@@ -1,0 +1,240 @@
+"""``repro runs`` — query and compare the persistent run ledger.
+
+Subcommands (all reading ``.repro-runs/`` or ``--dir``):
+
+* ``list`` — one summary line per stored run, newest first;
+* ``show <id>`` — config, dataset fingerprint, the per-iteration
+  metric/cost table, health signals, and the protocol-audit verdict;
+* ``diff <a> <b>`` — metric-by-metric comparison; wall-derived fields
+  are excluded, so same-config/same-seed runs report zero drift and any
+  printed delta is a real change;
+* ``compare --metric <name> <id>...`` — one metric's per-iteration
+  series across several runs, side by side.
+
+Ids may be abbreviated to any unambiguous prefix.  See
+``docs/OBSERVABILITY.md`` ("Querying past runs") for the record schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+from repro.obs.ledger import DEFAULT_LEDGER_DIR, RunLedger, diff_runs
+
+__all__ = ["add_runs_parser", "cmd_runs"]
+
+#: Metrics ``compare`` can pull from each iteration row.
+_COMPARE_METRICS = (
+    "z_change_sq",
+    "primal_residual",
+    "accuracy",
+    "total_bytes",
+    "total_messages",
+    "sim_s",
+    "wall_s",
+)
+
+
+def add_runs_parser(sub: Any) -> None:
+    """Register the ``runs`` subparser on an ``add_subparsers`` handle."""
+    runs = sub.add_parser("runs", help="query the persistent run ledger")
+    runs.add_argument(
+        "--dir",
+        default=DEFAULT_LEDGER_DIR,
+        help=f"ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
+    action = runs.add_subparsers(dest="runs_command", required=True)
+
+    action.add_parser("list", help="summarize stored runs, newest first")
+
+    show = action.add_parser("show", help="print one run record")
+    show.add_argument("run_id", help="run id (or unambiguous prefix)")
+
+    diff = action.add_parser("diff", help="compare two runs metric-by-metric")
+    diff.add_argument("run_a")
+    diff.add_argument("run_b")
+
+    compare = action.add_parser(
+        "compare", help="one metric's series across several runs"
+    )
+    compare.add_argument("run_ids", nargs="+")
+    compare.add_argument(
+        "--metric", choices=_COMPARE_METRICS, default="z_change_sq"
+    )
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``repro runs ...`` invocation."""
+    ledger = RunLedger(args.dir)
+    handlers = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "diff": _cmd_diff,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.runs_command](ledger, args)
+    except KeyError as exc:
+        print(f"repro runs: {exc.args[0]}")
+        return 2
+
+
+def _fmt(value: Any, places: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{places}g}" if value == value else "-"
+    return str(value)
+
+
+def _cmd_list(ledger: RunLedger, _: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    summaries = ledger.list_runs()
+    if not summaries:
+        print(f"no runs recorded under {ledger.root}/")
+        return 0
+    headers = ["run_id", "kind", "label", "seed", "iters", "health", "audit", "bytes"]
+    rows = [
+        [
+            s["run_id"],
+            s["kind"],
+            s["label"] or "-",
+            _fmt(s["seed"]),
+            s["n_iterations"],
+            s["verdict"] or "-",
+            _fmt(s["audit_ok"]),
+            _fmt(s["total_bytes"], 6),
+        ]
+        for s in summaries
+    ]
+    print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_show(ledger: RunLedger, args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    data = ledger.load(args.run_id)
+    print(f"run      : {data['run_id']} (schema v{data['schema_version']})")
+    print(f"kind     : {data['kind']}" + (f" [{data['label']}]" if data["label"] else ""))
+    print(f"seed     : {_fmt(data.get('seed'))}")
+    config = data.get("config", {})
+    if config:
+        rendered = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(config.items()))
+        print(f"config   : {rendered}")
+    dataset = data.get("dataset", {})
+    if dataset:
+        rendered = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(dataset.items()))
+        print(f"dataset  : {rendered}")
+    env = data.get("environment", {})
+    if env:
+        print(f"env      : " + ", ".join(f"{k} {v}" for k, v in sorted(env.items())))
+
+    iterations = data.get("iterations", [])
+    if iterations:
+        print()
+        headers = [
+            "iter", "z_change_sq", "primal_residual", "accuracy",
+            "bytes", "messages", "crypto_ops", "sim_ms",
+        ]
+        rows = [
+            [
+                row["iteration"],
+                _fmt(row.get("z_change_sq")),
+                _fmt(row.get("primal_residual")),
+                _fmt(row.get("accuracy")),
+                _fmt(row.get("total_bytes"), 6),
+                _fmt(row.get("total_messages"), 6),
+                _fmt(sum((row.get("crypto_ops") or {}).values()), 6),
+                _fmt((row.get("sim_s") or 0.0) * 1e3),
+            ]
+            for row in iterations
+        ]
+        print(format_table(headers, rows))
+
+    health = data.get("health")
+    if health:
+        print()
+        print(f"health   : {health['verdict']} "
+              f"({health['n_signals']} signal(s) over {health['n_iterations']} iterations)")
+        for signal in health.get("signals", []):
+            print(f"  - [{signal['detector']}] {signal['message']}")
+    audit = data.get("audit")
+    if audit:
+        print()
+        verdict = "clean" if audit["ok"] else f"{audit['n_violations']} violation(s)"
+        print(f"audit    : {audit['n_rounds']} round(s), {verdict}")
+        for round_summary in audit.get("rounds", []):
+            for violation in round_summary.get("violations", []):
+                print(f"  - [{violation['rule']}] {violation['message']}")
+    return 0
+
+
+def _cmd_diff(ledger: RunLedger, args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    diff = diff_runs(ledger.load(args.run_a), ledger.load(args.run_b))
+    print(f"diff {diff.run_a} -> {diff.run_b}")
+    if diff.config_drift:
+        print()
+        print("config drift:")
+        for key, (va, vb) in sorted(diff.config_drift.items()):
+            print(f"  {key}: {_fmt(va)} -> {_fmt(vb)}")
+    if diff.counter_drift:
+        print()
+        print("counter drift (wall-clock counters excluded):")
+        for name, (va, vb) in sorted(diff.counter_drift.items()):
+            print(f"  {name}: {_fmt(va, 9)} -> {_fmt(vb, 9)}")
+    differing = [row for row in diff.iteration_deltas if row["differs"]]
+    if differing:
+        print()
+        headers = [
+            "iter", "d(z_change_sq)", "d(primal_residual)",
+            "d(accuracy)", "d(bytes)", "d(messages)",
+        ]
+        rows = [
+            [
+                row["iteration"],
+                _fmt(row["z_change_sq"]),
+                _fmt(row["primal_residual"]),
+                _fmt(row["accuracy"]),
+                _fmt(row["total_bytes"], 6),
+                _fmt(row["total_messages"], 6),
+            ]
+            for row in differing
+        ]
+        print(format_table(headers, rows))
+    if diff.identical:
+        print("zero metric drift: the runs are deterministically identical")
+        return 0
+    print()
+    print(
+        f"{len(differing)} differing iteration(s), "
+        f"{len(diff.counter_drift)} drifting counter(s), "
+        f"{len(diff.config_drift)} config difference(s)"
+    )
+    return 0
+
+
+def _cmd_compare(ledger: RunLedger, args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    records = [ledger.load(run_id) for run_id in args.run_ids]
+    ids = [r["run_id"] for r in records]
+    n_iters = max(len(r.get("iterations", [])) for r in records)
+    headers = ["iter"] + ids
+    rows = []
+    for i in range(n_iters):
+        row: list[Any] = [i]
+        for record in records:
+            iterations = record.get("iterations", [])
+            value = iterations[i].get(args.metric) if i < len(iterations) else None
+            row.append(_fmt(value, 6))
+        rows.append(row)
+    print(f"metric: {args.metric}")
+    print(format_table(headers, rows))
+    return 0

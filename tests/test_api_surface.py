@@ -55,6 +55,11 @@ MODULES = [
     "repro.experiments.figure4",
     "repro.experiments.report",
     "repro.experiments.tables",
+    "repro.obs",
+    "repro.obs.audit",
+    "repro.obs.health",
+    "repro.obs.ledger",
+    "repro.obs.runs_cli",
     "repro.persistence",
     "repro.security",
     "repro.security.adversary",
